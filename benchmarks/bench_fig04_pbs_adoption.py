@@ -1,0 +1,50 @@
+"""Figure 4: daily share of blocks built through PBS."""
+
+import statistics
+
+from repro.analysis import daily_pbs_share
+from repro.analysis.adoption import identification_rule_breakdown
+from repro.analysis.report import render_series
+
+from paper_reference import PAPER_FIG4, compare_line
+from reporting import emit
+
+
+def test_fig04_pbs_adoption(study, benchmark):
+    series = benchmark(daily_pbs_share, study)
+
+    early = series.values[0]
+    by_nov3 = series.values[min(49, len(series) - 1)]
+    steady = statistics.mean(series.values[60:]) if len(series) > 60 else None
+    breakdown = identification_rule_breakdown(study)
+    lines = [
+        render_series(series),
+        compare_line("share on merge day", early, PAPER_FIG4["merge day"]),
+        compare_line("share by 3 Nov 2022", by_nov3, PAPER_FIG4["by 3 Nov 2022"]),
+        compare_line(
+            "steady-state mean", steady, PAPER_FIG4["steady range"]
+        ),
+        compare_line(
+            "PBS blocks relay-claimed", breakdown["relay_claimed"], 0.996
+        ),
+        compare_line(
+            "PBS blocks with payment convention",
+            breakdown["payment_convention"],
+            0.92,
+        ),
+        compare_line(
+            "no-payment blocks w/ proposer fee recipient",
+            breakdown["payment_missing_same_recipient"],
+            0.996,
+        ),
+    ]
+    emit("fig04_pbs_adoption", "\n".join(lines))
+
+    # Shape: ~20% at the merge, >80% after the ramp, stable thereafter.
+    assert early < 0.45
+    assert by_nov3 > 0.70
+    if steady is not None:
+        low, high = PAPER_FIG4["steady range"]
+        assert low - 0.08 <= steady <= high + 0.05
+    assert breakdown["relay_claimed"] > 0.95
+    assert breakdown["payment_convention"] > 0.85

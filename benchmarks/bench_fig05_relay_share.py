@@ -1,0 +1,62 @@
+"""Figure 5: daily share of blocks by each relay."""
+
+import datetime
+import statistics
+
+from repro.analysis import daily_relay_shares
+from repro.analysis.relays import multi_relay_share
+from repro.analysis.report import render_table
+
+from paper_reference import PAPER_LANDSCAPE, compare_line
+from reporting import emit
+
+
+def _window_mean(shares, relay, start_day, end_day):
+    merge = datetime.date(2022, 9, 15)
+    values = [
+        day_shares.get(relay, 0.0)
+        for date, day_shares in shares.items()
+        if start_day <= (date - merge).days <= end_day
+    ]
+    return statistics.mean(values) if values else 0.0
+
+
+def test_fig05_relay_market_share(study, benchmark):
+    shares = benchmark(daily_relay_shares, study)
+
+    relays = sorted({name for day in shares.values() for name in day})
+    rows = []
+    for relay in relays:
+        rows.append(
+            [
+                relay,
+                round(_window_mean(shares, relay, 0, 45), 3),
+                round(_window_mean(shares, relay, 46, 120), 3),
+                round(_window_mean(shares, relay, 121, 197), 3),
+            ]
+        )
+    text = render_table(
+        ["relay", "Sep-Oct", "Nov-Jan", "Feb-Mar"], rows,
+        title="mean daily share of PBS blocks per relay",
+    )
+    flashbots_late = _window_mean(shares, "Flashbots", 180, 197)
+    multi = multi_relay_share(study)
+    text += "\n" + compare_line(
+        "Flashbots share, late March",
+        flashbots_late,
+        PAPER_LANDSCAPE["flashbots relay share late"],
+    )
+    text += "\n" + compare_line(
+        "multi-relay block share", multi, PAPER_LANDSCAPE["multi-relay share"]
+    )
+    emit("fig05_relay_share", text)
+
+    # Shape: Flashbots dominates early (>50%) and declines substantially.
+    flashbots_early = _window_mean(shares, "Flashbots", 10, 60)
+    assert flashbots_early > 0.5
+    assert flashbots_late < flashbots_early
+    # Late entrants rise: UltraSound and GnosisDAO visible by 2023.
+    assert _window_mean(shares, "UltraSound", 150, 197) > 0.05
+    assert _window_mean(shares, "GnosisDAO", 150, 197) > 0.03
+    # Around 5% of PBS blocks are claimed by more than one relay.
+    assert 0.005 < multi < 0.25

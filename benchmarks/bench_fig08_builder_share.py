@@ -1,0 +1,57 @@
+"""Figure 8: daily share of blocks by each builder."""
+
+import datetime
+import statistics
+
+from repro.analysis import cluster_builders, daily_builder_shares
+from repro.analysis.report import render_table
+
+from paper_reference import PAPER_LANDSCAPE, compare_line
+from reporting import emit
+
+
+def test_fig08_builder_market_share(study, benchmark):
+    shares = benchmark(daily_builder_shares, study)
+
+    merge = datetime.date(2022, 9, 15)
+
+    def window_mean(builder, lo, hi):
+        values = [
+            day.get(builder, 0.0)
+            for date, day in shares.items()
+            if lo <= (date - merge).days <= hi
+        ]
+        return statistics.mean(values) if values else 0.0
+
+    clusters = cluster_builders(study)
+    top = [cluster.name for cluster in clusters[:8]]
+    rows = [
+        [
+            name,
+            round(window_mean(name, 0, 45), 3),
+            round(window_mean(name, 46, 120), 3),
+            round(window_mean(name, 121, 197), 3),
+        ]
+        for name in top
+    ]
+    text = render_table(
+        ["builder", "Sep-Oct", "Nov-Jan", "Feb-Mar"], rows,
+        title="mean daily share of PBS blocks per builder (top 8)",
+    )
+    text += "\n" + compare_line(
+        "unique builders", len(clusters), PAPER_LANDSCAPE["unique builders"]
+    )
+    emit("fig08_builder_share", text)
+
+    # Shape: the top three builders together take more than half of the
+    # blocks from November onwards (paper: Flashbots, builder0x69,
+    # beaverbuild).
+    top3_late = sum(window_mean(name, 49, 197) for name in top[:3])
+    assert top3_late > 0.5
+    # Flashbots declines while beaverbuild rises.
+    assert window_mean("Flashbots", 0, 45) > window_mean("Flashbots", 150, 197)
+    assert window_mean("beaverbuild", 150, 197) > window_mean(
+        "beaverbuild", 0, 45
+    )
+    # A long tail of small builders exists.
+    assert len(clusters) > 20

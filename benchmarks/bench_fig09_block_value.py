@@ -1,0 +1,35 @@
+"""Figure 9: block value over time, PBS vs non-PBS."""
+
+import statistics
+
+from repro.analysis import daily_block_value
+from repro.analysis.report import render_split_series
+
+from reporting import emit
+
+
+def test_fig09_block_value(study, benchmark):
+    pbs, non_pbs = benchmark(daily_block_value, study)
+
+    text = render_split_series(pbs, non_pbs)
+    gap_early = statistics.mean(pbs.values[:30]) / max(
+        statistics.mean(non_pbs.values[:30]), 1e-9
+    )
+    gap_late = statistics.mean(pbs.values[-30:]) / max(
+        statistics.mean(non_pbs.values[-30:]), 1e-9
+    )
+    text += (
+        f"\n  PBS/non-PBS value ratio: early={gap_early:.2f} late={gap_late:.2f}"
+        "  (paper: consistently >1, growing)"
+    )
+    emit("fig09_block_value", text)
+
+    # Shape: PBS block value is consistently significantly higher.
+    assert pbs.mean() > 1.5 * non_pbs.mean()
+    higher_days = sum(
+        1
+        for date, value in zip(pbs.dates, pbs.values)
+        if date in non_pbs.dates
+        and value > non_pbs.values[non_pbs.dates.index(date)]
+    )
+    assert higher_days / len(pbs.dates) > 0.8

@@ -1,0 +1,54 @@
+"""Figure 10: daily median proposer profit, PBS vs non-PBS."""
+
+import datetime
+import statistics
+
+from repro.analysis import daily_proposer_profit
+from repro.analysis.report import render_series
+
+from reporting import emit
+
+FTX_DAY = (datetime.date(2022, 11, 11) - datetime.date(2022, 9, 15)).days
+
+
+def test_fig10_proposer_profit(study, benchmark):
+    pbs, non_pbs = benchmark(daily_proposer_profit, study)
+
+    lines = [
+        render_series(pbs.median_series()),
+        render_series(non_pbs.median_series()),
+    ]
+    # The paper's strongest claim: PBS p25 generally above non-PBS p75.
+    dominating_days = 0
+    comparable = 0
+    for i, date in enumerate(pbs.dates):
+        if date not in non_pbs.dates:
+            continue
+        j = non_pbs.dates.index(date)
+        comparable += 1
+        if pbs.p25[i] > non_pbs.p75[j]:
+            dominating_days += 1
+    dominance = dominating_days / max(1, comparable)
+    lines.append(
+        f"  days with PBS p25 above non-PBS p75: {dominance:.2f}"
+        "  (paper: 'generally above')"
+    )
+    # MEV spike visibility around the FTX bankruptcy (daily medians).
+    ftx_window = [
+        value
+        for date, value in zip(pbs.dates, pbs.p50)
+        if abs((date - datetime.date(2022, 11, 11)).days) <= 2
+    ]
+    baseline = statistics.median(pbs.p50)
+    if ftx_window:
+        lines.append(
+            f"  median PBS profit around FTX: {statistics.mean(ftx_window):.4f}"
+            f" vs window mean {baseline:.4f} (paper: spike)"
+        )
+    emit("fig10_proposer_profit", "\n".join(lines))
+
+    # Shape: PBS proposers earn more at the median, most days.
+    assert statistics.mean(pbs.p50) > statistics.mean(non_pbs.p50)
+    assert dominance > 0.35
+    if ftx_window:
+        assert max(ftx_window) > baseline

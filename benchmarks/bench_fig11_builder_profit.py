@@ -1,0 +1,66 @@
+"""Figure 11: box plot of builder profits per builder."""
+
+import statistics
+
+from repro.analysis import builder_profit_distribution
+from repro.analysis.report import render_table
+
+from reporting import emit
+
+FLAT_MARGIN_BUILDERS = ("Flashbots", "blocknative", "Eden")
+SUBSIDIZERS = ("builder0x69", "beaverbuild", "eth-builder")
+NEGATIVE_MEAN_BUILDERS = ("bloXroute (M)", "bloXroute (R)")
+HIGH_MARGIN_BUILDERS = ("rsync-builder", "Builder 1", "Manta-builder")
+
+
+def test_fig11_builder_profits(study, benchmark):
+    profits = benchmark(builder_profit_distribution, study)
+
+    rows = []
+    for name, values in profits.items():
+        if len(values) < 10:
+            continue
+        rows.append(
+            [
+                name,
+                len(values),
+                round(statistics.mean(values), 5),
+                round(statistics.median(values), 5),
+                round(min(values), 5),
+                round(statistics.pstdev(values), 5),
+                round(sum(1 for v in values if v < 0) / len(values), 3),
+            ]
+        )
+    rows.sort(key=lambda row: row[1], reverse=True)
+    emit(
+        "fig11_builder_profit",
+        render_table(
+            ["builder", "blocks", "mean", "median", "min", "std",
+             "subsidized share"],
+            rows,
+            title="builder profit per block [ETH]",
+        ),
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # Flat-margin strategists: small positive typical profit, tiny
+    # variance (Eden's mean is dented by its one scripted mispromise
+    # block, so the median carries the policy signature).
+    for name in FLAT_MARGIN_BUILDERS:
+        if name in by_name:
+            assert 0.0001 < abs(by_name[name][3]) < 0.005, name
+            assert by_name[name][5] < 0.04, name
+    # Frequent subsidizers still profit on net.
+    for name in SUBSIDIZERS:
+        if name in by_name:
+            assert by_name[name][6] > 0.03, name  # regularly negative blocks
+            assert by_name[name][2] > 0, name  # but positive mean
+    # The bloXroute builders run at a loss on-chain.
+    for name in NEGATIVE_MEAN_BUILDERS:
+        if name in by_name:
+            assert by_name[name][2] < 0, name
+    # The proportional high-margin trio is the most profitable per block.
+    high = [by_name[n][2] for n in HIGH_MARGIN_BUILDERS if n in by_name]
+    flat = [by_name[n][2] for n in FLAT_MARGIN_BUILDERS if n in by_name]
+    assert high and flat
+    assert statistics.mean(high) > 2 * statistics.mean(flat)

@@ -1,0 +1,44 @@
+"""Figure 14: daily share of privately received transactions."""
+
+import datetime
+import statistics
+
+from repro.analysis import daily_private_tx_share
+from repro.analysis.report import render_split_series
+
+from reporting import emit
+
+DEC_WINDOW = (
+    datetime.date(2022, 12, 12),
+    datetime.date(2022, 12, 26),
+)
+
+
+def test_fig14_private_tx_share(study, benchmark):
+    pbs, non_pbs = benchmark(daily_private_tx_share, study)
+
+    text = render_split_series(pbs, non_pbs)
+    # The December Binance -> AnkrPool spike in non-PBS blocks.
+    in_window = [
+        value
+        for date, value in zip(non_pbs.dates, non_pbs.values)
+        if DEC_WINDOW[0] <= date <= DEC_WINDOW[1]
+    ]
+    outside = [
+        value
+        for date, value in zip(non_pbs.dates, non_pbs.values)
+        if not DEC_WINDOW[0] <= date <= DEC_WINDOW[1]
+    ]
+    text += (
+        f"\n  non-PBS private share inside Dec window: "
+        f"{statistics.mean(in_window):.4f} vs outside: "
+        f"{statistics.mean(outside):.4f}"
+        "  (paper: December peak from a single Binance->AnkrPool pair)"
+    )
+    emit("fig14_private_txs", text)
+
+    # Shape: private transactions are largely a PBS phenomenon...
+    assert pbs.mean() > 2 * non_pbs.mean()
+    assert pbs.mean() > 0.03
+    # ...except the December exchange flow into AnkrPool's local blocks.
+    assert statistics.mean(in_window) > 2 * statistics.mean(outside)

@@ -1,0 +1,34 @@
+"""Figure 17: share of PBS blocks from OFAC-compliant relays."""
+
+import statistics
+
+from repro.analysis import daily_compliant_relay_share
+from repro.analysis.report import render_series
+
+from paper_reference import PAPER_CENSORSHIP, compare_line
+from reporting import emit
+
+
+def test_fig17_compliant_relay_share(study, benchmark):
+    series = benchmark(daily_compliant_relay_share, study)
+
+    early = statistics.mean(series.values[:30])
+    late = statistics.mean(series.values[-20:])
+    lines = [
+        render_series(series),
+        compare_line(
+            "compliant share, first month", early,
+            PAPER_CENSORSHIP["compliant share early"],
+        ),
+        compare_line(
+            "compliant share, late March", late,
+            PAPER_CENSORSHIP["compliant share late"],
+        ),
+    ]
+    emit("fig17_compliant_share", "\n".join(lines))
+
+    # Shape: censoring relays produce >80% of PBS blocks initially and
+    # decline toward (but remain a large minority at) the end of March.
+    assert early > 0.7
+    assert late < early - 0.2
+    assert late > 0.15

@@ -1,0 +1,42 @@
+"""Figure 19 (Appendix C): daily builder vs proposer profit split."""
+
+import datetime
+import statistics
+
+from repro.analysis import daily_profit_split
+from repro.analysis.report import render_series
+
+from reporting import emit
+
+LOSS_WINDOW = (datetime.date(2023, 2, 12), datetime.date(2023, 3, 14))
+
+
+def test_fig19_profit_split(study, benchmark):
+    builder_share, proposer_share = benchmark(daily_profit_split, study)
+
+    text = "\n".join(
+        (render_series(builder_share), render_series(proposer_share))
+    )
+    in_loss = [
+        value
+        for date, value in zip(builder_share.dates, builder_share.values)
+        if LOSS_WINDOW[0] <= date <= LOSS_WINDOW[1]
+    ]
+    outside = [
+        value
+        for date, value in zip(builder_share.dates, builder_share.values)
+        if not LOSS_WINDOW[0] <= date <= LOSS_WINDOW[1]
+    ]
+    text += (
+        f"\n  builder share inside Feb-Mar loss window: "
+        f"{statistics.mean(in_loss):.4f} vs outside {statistics.mean(outside):.4f}"
+        "  (paper: beaverbuild's 1.7k ETH loss pulls the split negative)"
+    )
+    emit("fig19_profit_split", text)
+
+    # Shape: proposers take nearly all the value every day.
+    assert proposer_share.mean() > 0.9
+    # Subsidies push the builder share negative on some days.
+    assert min(builder_share.values) < 0
+    # The scripted beaverbuild loss window depresses builder profitability.
+    assert statistics.mean(in_loss) < statistics.mean(outside)

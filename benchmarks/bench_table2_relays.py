@@ -1,0 +1,25 @@
+"""Table 2: the eleven PBS relays (endpoint and implementation fork)."""
+
+from repro.analysis.report import render_table
+
+from reporting import emit
+
+
+def test_table2_relay_roster(study, benchmark):
+    rows = benchmark(
+        lambda: [
+            [name, relay.endpoint, relay.fork]
+            for name, relay in sorted(study.relays.items())
+        ]
+    )
+    emit("table2_relays", render_table(["Relay Name", "Endpoint", "Fork"], rows))
+
+    assert len(rows) == 11
+    forks = {row[2] for row in rows}
+    assert forks == {"MEV Boost", "Dreamboat"}
+    dreamboat = [row[0] for row in rows if row[2] == "Dreamboat"]
+    assert dreamboat == ["Blocknative"]
+    endpoints = {row[1] for row in rows}
+    assert "https://boost-relay.flashbots.net" in endpoints
+    assert "https://relay.ultrasound.money" in endpoints
+    assert len(endpoints) == 11  # all distinct

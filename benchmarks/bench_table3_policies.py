@@ -1,0 +1,45 @@
+"""Table 3: relay policy matrix (builder access, censorship, MEV filter)."""
+
+from repro.core.policies import CensorshipPolicy, MevFilterPolicy
+from repro.analysis.report import render_table
+
+from reporting import emit
+
+
+def test_table3_relay_policies(study, benchmark):
+    def build_rows():
+        rows = []
+        for name, relay in sorted(study.relays.items()):
+            policy = relay.policy
+            rows.append(
+                [
+                    name,
+                    policy.builder_access.value,
+                    "OFAC-compliant" if policy.is_censoring else "x",
+                    "front-running"
+                    if policy.mev_filter is MevFilterPolicy.FRONTRUNNING
+                    else "x",
+                ]
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    emit(
+        "table3_policies",
+        render_table(["Relay Name", "Builders", "Censorship", "MEV Filter"], rows),
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # The paper's censorship column.
+    compliant = {name for name, row in by_name.items() if row[2] != "x"}
+    assert compliant == {"Blocknative", "bloXroute (R)", "Eden", "Flashbots"}
+    # Only bloXroute (Ethical) filters front-running.
+    filtering = {name for name, row in by_name.items() if row[3] != "x"}
+    assert filtering == {"bloXroute (E)"}
+    # Access policies per Table 3.
+    assert by_name["Blocknative"][1] == "internal"
+    assert by_name["Eden"][1] == "internal"
+    assert by_name["bloXroute (M)"][1] == "internal & external"
+    assert by_name["Flashbots"][1] == "internal & permissionless"
+    assert by_name["UltraSound"][1] == "permissionless"
+    assert by_name["Aestus"][1] == "permissionless"

@@ -1,0 +1,89 @@
+"""Table 4: delivered vs promised value and sanctioned blocks per relay."""
+
+from repro.analysis.censorship import sanctioned_blocks_by_relay
+from repro.analysis.relays import pbs_totals_row, relay_trust_table
+from repro.analysis.report import render_table
+
+from paper_reference import (
+    PAPER_TABLE4_DELIVERED,
+    PAPER_TABLE4_OVERPROMISED,
+    PAPER_TABLE4_SANCTIONED_SHARE,
+)
+from reporting import emit
+
+
+def test_table4_relay_trust(study, benchmark):
+    rows = benchmark(relay_trust_table, study)
+    sanctioned = {
+        row.relay: row for row in sanctioned_blocks_by_relay(study)
+    }
+
+    table = []
+    for row in rows:
+        sanc = sanctioned.get(row.relay)
+        table.append(
+            [
+                row.relay,
+                round(row.delivered_value_eth, 3),
+                round(row.promised_value_eth, 3),
+                round(row.share_of_value_delivered, 5),
+                PAPER_TABLE4_DELIVERED.get(row.relay, "-"),
+                round(row.share_over_promised_blocks, 4),
+                PAPER_TABLE4_OVERPROMISED.get(row.relay, "-"),
+                sanc.sanctioned_blocks if sanc else 0,
+                round(sanc.share, 4) if sanc else 0.0,
+                PAPER_TABLE4_SANCTIONED_SHARE.get(row.relay, "-"),
+            ]
+        )
+    totals = pbs_totals_row(rows)
+    table.append(
+        [
+            "PBS",
+            round(totals.delivered_value_eth, 3),
+            round(totals.promised_value_eth, 3),
+            round(totals.share_of_value_delivered, 5),
+            0.98725,
+            round(totals.share_over_promised_blocks, 4),
+            0.00855,
+            sum(row.sanctioned_blocks for row in sanctioned.values()),
+            "-",
+            "-",
+        ]
+    )
+    emit(
+        "table4_relay_trust",
+        render_table(
+            [
+                "relay", "delivered", "promised", "share", "paper",
+                "overpromised", "paper", "#sanc", "sanc share", "paper",
+            ],
+            table,
+        ),
+    )
+
+    by_name = {row.relay: row for row in rows}
+    # Aestus delivers everything it promises.
+    if "Aestus" in by_name:
+        assert by_name["Aestus"].share_of_value_delivered == 1.0
+        assert by_name["Aestus"].share_over_promised_blocks == 0.0
+    # Eden and Manifold are the two big under-deliverers.
+    assert by_name["Eden"].share_of_value_delivered < 0.98
+    assert by_name["Manifold"].share_of_value_delivered < 0.6
+    # Everyone else delivers >99.8% of the promised value.
+    for row in rows:
+        if row.relay in ("Eden", "Manifold") or row.blocks < 10:
+            continue
+        assert row.share_of_value_delivered > 0.998, row.relay
+    # Compliant relays include (almost) no sanctioned blocks; neutral
+    # relays include plenty — and Manifold tops the list, as in the paper.
+    compliant_shares = [
+        row.share for row in sanctioned.values() if row.is_compliant
+    ]
+    neutral = [
+        row for row in sanctioned.values()
+        if not row.is_compliant and row.total_blocks >= 20
+    ]
+    assert max(compliant_shares) < 0.02
+    assert neutral
+    worst = max(neutral, key=lambda row: row.share)
+    assert worst.share > 0.05

@@ -1,0 +1,113 @@
+"""Reference values from the paper, printed next to measured results.
+
+The reproduction runs on a simulated substrate, so absolute magnitudes are
+not expected to match; shapes, orderings and crossovers are.  Each bench
+prints the paper number it targets so EXPERIMENTS.md can record both.
+"""
+
+# Table 1 (dataset sizes on mainnet; ours scale with the simulated world).
+PAPER_TABLE1 = {
+    "blocks": 1_413_209,
+    "transactions": 210_695_337,
+    "logs": 465_863_321,
+    "traces": 1_033_519_365,
+    "mempool arrival times": 910_577_701,
+    "relay data entries": 427_443_787,
+    "OFAC addresses": 134,
+}
+
+# Figure 3: average daily shares of user payments.
+PAPER_FIG3 = {"base fee": 0.723, "priority fee": 0.184, "direct transfers": 0.093}
+
+# Figure 4: PBS adoption.
+PAPER_FIG4 = {
+    "merge day": 0.20,
+    "by 3 Nov 2022": 0.85,
+    "steady range": (0.85, 0.94),
+}
+
+# Table 4 (left): share of promised value delivered per relay.
+PAPER_TABLE4_DELIVERED = {
+    "Aestus": 1.0000,
+    "Blocknative": 0.99982,
+    "bloXroute (E)": 0.99890,
+    "bloXroute (M)": 0.99989,
+    "bloXroute (R)": 0.99989,
+    "Eden": 0.93785,
+    "Flashbots": 0.99993,
+    "GnosisDAO": 0.99994,
+    "Manifold": 0.19863,
+    "Relayooor": 0.99968,
+    "UltraSound": 0.99989,
+}
+
+PAPER_TABLE4_OVERPROMISED = {
+    "Aestus": 0.00031,
+    "Blocknative": 0.03553,
+    "bloXroute (E)": 0.04449,
+    "bloXroute (M)": 0.02724,
+    "bloXroute (R)": 0.00114,
+    "Eden": 0.00048,
+    "Flashbots": 0.00033,
+    "GnosisDAO": 0.00894,
+    "Manifold": 0.06880,
+    "Relayooor": 0.02096,
+    "UltraSound": 0.00953,
+}
+
+PAPER_TABLE4_SANCTIONED_SHARE = {
+    "Aestus": 0.01082,
+    "Blocknative": 0.01808,
+    "bloXroute (E)": 0.05420,
+    "bloXroute (M)": 0.05375,
+    "bloXroute (R)": 0.00825,
+    "Eden": 0.00324,
+    "Flashbots": 0.00211,
+    "GnosisDAO": 0.02956,
+    "Manifold": 0.14357,
+    "Relayooor": 0.05658,
+    "UltraSound": 0.03309,
+}
+
+# Figure 6: HHI ranges.
+PAPER_FIG6 = {
+    "relay HHI range": (0.19, 0.80),
+    "builder HHI range": (0.13, 0.67),
+    "builder HHI mean": 0.21,
+}
+
+# Section 5.4 / Figures 15-16, 20-22.
+PAPER_MEV = {
+    "PBS MEV value share": 0.144,
+    "sandwiches total": 1_329_368,
+    "cyclic arbitrage total": 871_560,
+    "liquidations total": 4_173,
+    "arb per PBS block": 0.72,
+    "arb per non-PBS block": 0.20,
+    "liq per PBS block": 0.02,
+    "liq per non-PBS block": 0.003,
+    "bloXroute (E) sandwiches": 2_002,
+}
+
+# Section 6 / Table 4 right, Figure 17-18.
+PAPER_CENSORSHIP = {
+    "PBS sanctioned share": 0.0171,
+    "non-PBS vs PBS factor": 2.0,
+    "compliant share early": 0.80,
+    "compliant share late": 0.45,
+}
+
+# Section 4: multi-relay blocks and builder counts.
+PAPER_LANDSCAPE = {
+    "multi-relay share": 0.05,
+    "unique builders": 133,
+    "flashbots relay share late": 0.23,
+    "bloxroute m overall share": 0.20,
+}
+
+
+def compare_line(label: str, measured, paper) -> str:
+    """One formatted measured-vs-paper line for bench output."""
+    if isinstance(measured, float) and isinstance(paper, float):
+        return f"  {label:42s} measured={measured:10.4f}  paper={paper:10.4f}"
+    return f"  {label:42s} measured={measured!s:>12}  paper={paper!s:>12}"

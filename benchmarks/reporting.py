@@ -1,0 +1,22 @@
+"""Output plumbing for the benchmark harness.
+
+Each benchmark reproduces one of the paper's tables or figures; its
+rendering is printed (visible with ``pytest -s``) and also written to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can reference a
+durable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a reproduction and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"=== {experiment} ==="
+    payload = f"{banner}\n{text}\n"
+    print("\n" + payload)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(payload, encoding="utf-8")

@@ -1,0 +1,86 @@
+"""Censorship study: does PBS prevent censorship? (paper Section 6)
+
+Simulates a window spanning the 2022-11-08 OFAC update and measures:
+* the share of PBS blocks produced by OFAC-compliant relays (Fig. 17),
+* the share of PBS vs non-PBS blocks carrying sanctioned activity (Fig. 18),
+* per-relay filtering performance, including the post-update gaps.
+
+Run:  python examples/censorship_study.py
+"""
+
+from repro.analysis import (
+    daily_compliant_relay_share,
+    daily_sanctioned_share,
+    sanctioned_blocks_by_relay,
+)
+from repro.analysis.censorship import (
+    overall_sanctioned_shares,
+    sanctioned_inclusion_delay_after_updates,
+)
+from repro.analysis.report import render_series, render_table
+from repro.datasets import collect_study_dataset
+from repro.simulation import SimulationConfig, build_world
+
+
+def main() -> None:
+    config = SimulationConfig(
+        seed=21,
+        num_days=80,  # merge through early December: covers the OFAC update
+        blocks_per_day=14,
+        num_validators=400,
+        num_users=300,
+    )
+    print("building world (80 days)...")
+    world = build_world(config).run()
+    dataset = collect_study_dataset(world)
+
+    print("\n-- share of PBS blocks from OFAC-compliant relays (Fig. 17) --")
+    print(render_series(daily_compliant_relay_share(dataset)))
+
+    print("\n-- sanctioned-block shares (Fig. 18) --")
+    pbs, non_pbs = daily_sanctioned_share(dataset)
+    print(render_series(pbs))
+    print(render_series(non_pbs))
+    overall = overall_sanctioned_shares(dataset)
+    factor = overall["non-PBS"] / max(overall["PBS"], 1e-9)
+    print(
+        f"\noverall: PBS {overall['PBS']:.2%} vs non-PBS "
+        f"{overall['non-PBS']:.2%}  ->  non-PBS blocks are {factor:.1f}x more"
+        " likely to carry sanctioned transactions (paper: ~2x)"
+    )
+
+    print("\n-- per-relay filtering (Table 4, right side) --")
+    rows = [
+        [
+            row.relay,
+            "yes" if row.is_compliant else "no",
+            row.sanctioned_blocks,
+            row.total_blocks,
+            f"{row.share:.2%}",
+        ]
+        for row in sanctioned_blocks_by_relay(dataset)
+    ]
+    print(
+        render_table(
+            ["relay", "announces OFAC", "sanctioned", "blocks", "share"], rows
+        )
+    )
+
+    gaps = sanctioned_inclusion_delay_after_updates(dataset)
+    if any(gaps.values()):
+        print(
+            "\ncompliant-relay misses cluster right after OFAC list updates"
+            " (the stale-list gap the paper documents):"
+        )
+        for relay, share in sorted(gaps.items()):
+            print(f"  {relay}: {share:.0%} of its misses within 7 days of an update")
+
+    print(
+        "\nconclusion: PBS blocks are *less* likely to include sanctioned"
+        " transactions than locally built blocks — PBS aids censorship"
+        " rather than preventing it, matching the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

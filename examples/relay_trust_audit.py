@@ -1,0 +1,91 @@
+"""Relay trust audit: do relays deliver the value they promise?
+(paper Section 5.2, Table 4)
+
+Covers the 2022-10-15 Manifold incident (a builder exploiting disabled
+reward checks) and Eden's mispriced block, then audits every relay's
+promised-vs-delivered value from chain data + the relay data APIs.
+
+Run:  python examples/relay_trust_audit.py
+"""
+
+from repro.analysis.relays import pbs_totals_row, relay_trust_table
+from repro.analysis.report import render_table
+from repro.datasets import collect_study_dataset
+from repro.simulation import SimulationConfig, build_world
+from repro.types import to_ether
+
+
+def main() -> None:
+    config = SimulationConfig(
+        seed=5,
+        num_days=50,  # covers both October incidents
+        blocks_per_day=16,
+        num_validators=400,
+        num_users=300,
+    )
+    print("building world (50 days, incidents enabled)...")
+    world = build_world(config).run()
+    dataset = collect_study_dataset(world)
+
+    rows = relay_trust_table(dataset)
+    table = [
+        [
+            row.relay,
+            round(row.delivered_value_eth, 4),
+            round(row.promised_value_eth, 4),
+            f"{row.share_of_value_delivered:.3%}",
+            f"{row.share_over_promised_blocks:.2%}",
+            row.blocks,
+        ]
+        for row in rows
+    ]
+    totals = pbs_totals_row(rows)
+    table.append(
+        [
+            "PBS (all)",
+            round(totals.delivered_value_eth, 4),
+            round(totals.promised_value_eth, 4),
+            f"{totals.share_of_value_delivered:.3%}",
+            f"{totals.share_over_promised_blocks:.2%}",
+            totals.blocks,
+        ]
+    )
+    print(
+        render_table(
+            ["relay", "delivered [ETH]", "promised [ETH]", "share",
+             "over-promised blocks", "n"],
+            table,
+            title="promised vs delivered value per relay (Table 4)",
+        )
+    )
+
+    # Narrate the incidents recovered from the data.
+    for row in rows:
+        if row.share_of_value_delivered < 0.99:
+            missing = row.promised_value_eth - row.delivered_value_eth
+            print(
+                f"\n{row.relay} failed to deliver {missing:.3f} ETH of its"
+                f" promises ({1 - row.share_of_value_delivered:.1%} of value)."
+            )
+            if row.relay == "Manifold":
+                print(
+                    "  -> 2022-10-15: the relay stopped validating block"
+                    " rewards; a builder submitted inflated claims and kept"
+                    " the profit (the paper's 184-block incident)."
+                )
+            if row.relay == "Eden":
+                print(
+                    "  -> a single mispriced block promised a large value"
+                    " but paid 0.16 ETH (the paper's block 15,703,347)."
+                )
+
+    reliable = [row for row in rows if row.share_over_promised_blocks == 0.0]
+    print(
+        f"\nrelays that never over-promised: "
+        f"{', '.join(row.relay for row in reliable) or '(none)'}"
+        "\n(paper: Aestus is the only relay delivering 100.000000%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Block composition analyses (paper Section 5.1, 5.3).
+
+PBS vs non-PBS comparisons of block value (Fig. 9), proposer profit
+percentiles (Fig. 10), block size in gas (Fig. 13), and the share of
+privately received transactions (Fig. 14).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.collector import StudyDataset
+from ..datasets.records import BlockObservation
+from ..types import to_ether
+from .timeseries import DailySeries, group_by_date
+
+
+@dataclass(frozen=True)
+class PercentileSeries:
+    """A daily series with interquartile band (Fig. 10 / Fig. 16 style)."""
+
+    name: str
+    dates: tuple[datetime.date, ...]
+    p25: tuple[float, ...]
+    p50: tuple[float, ...]
+    p75: tuple[float, ...]
+
+    def median_series(self) -> DailySeries:
+        return DailySeries(self.name, self.dates, self.p50)
+
+
+def _split(dataset: StudyDataset) -> tuple[list[BlockObservation], list[BlockObservation]]:
+    return dataset.pbs_blocks(), dataset.non_pbs_blocks()
+
+
+def daily_block_value(dataset: StudyDataset) -> tuple[DailySeries, DailySeries]:
+    """Daily mean block value in ETH for PBS and non-PBS blocks (Fig. 9)."""
+    series = []
+    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
+        buckets = group_by_date(blocks)
+        dates = tuple(buckets)
+        values = tuple(
+            float(np.mean([to_ether(obs.block_value_wei) for obs in day_blocks]))
+            for day_blocks in buckets.values()
+        )
+        series.append(DailySeries(f"{name} block value [ETH]", dates, values))
+    return series[0], series[1]
+
+
+def daily_proposer_profit(
+    dataset: StudyDataset,
+) -> tuple[PercentileSeries, PercentileSeries]:
+    """Daily proposer-profit percentiles, PBS vs non-PBS (Fig. 10)."""
+    result = []
+    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
+        buckets = group_by_date(blocks)
+        dates = tuple(buckets)
+        p25, p50, p75 = [], [], []
+        for day_blocks in buckets.values():
+            profits = [to_ether(obs.proposer_profit_wei) for obs in day_blocks]
+            p25.append(float(np.percentile(profits, 25)))
+            p50.append(float(np.percentile(profits, 50)))
+            p75.append(float(np.percentile(profits, 75)))
+        result.append(
+            PercentileSeries(
+                f"{name} proposer profit [ETH]",
+                dates,
+                tuple(p25),
+                tuple(p50),
+                tuple(p75),
+            )
+        )
+    return result[0], result[1]
+
+
+def daily_block_size(
+    dataset: StudyDataset,
+) -> tuple[DailySeries, DailySeries, DailySeries, DailySeries]:
+    """Daily mean and std of gas used, PBS vs non-PBS (Fig. 13).
+
+    Returns (pbs mean, pbs std, non-pbs mean, non-pbs std).
+    """
+    out: list[DailySeries] = []
+    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
+        buckets = group_by_date(blocks)
+        dates = tuple(buckets)
+        means, stds = [], []
+        for day_blocks in buckets.values():
+            sizes = np.asarray([obs.gas_used for obs in day_blocks], dtype=float)
+            means.append(float(sizes.mean()))
+            stds.append(float(sizes.std()))
+        out.append(DailySeries(f"{name} gas mean", dates, tuple(means)))
+        out.append(DailySeries(f"{name} gas std", dates, tuple(stds)))
+    return out[0], out[1], out[2], out[3]
+
+
+def daily_private_tx_share(
+    dataset: StudyDataset,
+) -> tuple[DailySeries, DailySeries]:
+    """Daily share of block transactions not seen in the public mempool
+    before inclusion, PBS vs non-PBS (Fig. 14)."""
+    series = []
+    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
+        buckets = group_by_date(blocks)
+        dates = tuple(buckets)
+        values = []
+        for day_blocks in buckets.values():
+            txs = sum(obs.tx_count for obs in day_blocks)
+            private = sum(obs.private_tx_count for obs in day_blocks)
+            values.append(private / txs if txs else 0.0)
+        series.append(
+            DailySeries(f"{name} private tx share", dates, tuple(values))
+        )
+    return series[0], series[1]

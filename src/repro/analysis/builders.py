@@ -1,0 +1,190 @@
+"""Builder landscape analyses (paper Sections 4.2, 5.2; Appendix B/C).
+
+Builders are identified by their relay pubkeys and clustered by the fee
+recipient address of the blocks they land, exactly like the paper: two
+pubkeys landing blocks with the same fee recipient are one builder.
+Blocks whose builder set the proposer as fee recipient cluster by pubkey
+only (the paper's "Builder 3"/"Builder 6" cases with no on-chain trace).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from ..datasets.collector import StudyDataset
+from ..datasets.records import BlockObservation
+from ..types import to_ether
+from .timeseries import DailySeries, group_by_date
+
+
+@dataclass
+class BuilderCluster:
+    """One clustered builder: pubkeys sharing fee-recipient addresses."""
+
+    name: str
+    pubkeys: set[str] = field(default_factory=set)
+    addresses: set[str] = field(default_factory=set)
+    blocks: list[BlockObservation] = field(default_factory=list)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+def _observation_builder_key(obs: BlockObservation) -> str | None:
+    """Grouping key for one PBS block observation."""
+    if not obs.is_pbs:
+        return None
+    if obs.fee_recipient != obs.proposer_fee_recipient:
+        return f"addr:{obs.fee_recipient}"
+    if obs.builder_pubkey is not None:
+        return f"pubkey:{obs.builder_pubkey}"
+    return None
+
+
+def cluster_builders(dataset: StudyDataset) -> list[BuilderCluster]:
+    """Cluster PBS blocks into builders, most blocks first.
+
+    Pubkeys are merged into one cluster when they land blocks paying the
+    same fee recipient.  Cluster names prefer the builder's extra-data tag
+    (the self-identification real builders put in blocks), falling back to
+    a fee-recipient/pubkey prefix.
+    """
+    by_key: dict[str, BuilderCluster] = {}
+    for obs in dataset.blocks:
+        key = _observation_builder_key(obs)
+        if key is None:
+            continue
+        cluster = by_key.get(key)
+        if cluster is None:
+            cluster = BuilderCluster(name=key)
+            by_key[key] = cluster
+        cluster.blocks.append(obs)
+        if obs.builder_pubkey is not None:
+            cluster.pubkeys.add(obs.builder_pubkey)
+        if obs.fee_recipient != obs.proposer_fee_recipient:
+            cluster.addresses.add(obs.fee_recipient)
+
+    # Merge clusters that share a pubkey (one builder, several addresses).
+    merged: list[BuilderCluster] = []
+    by_pubkey: dict[str, BuilderCluster] = {}
+    for cluster in by_key.values():
+        target = None
+        for pubkey in cluster.pubkeys:
+            if pubkey in by_pubkey:
+                target = by_pubkey[pubkey]
+                break
+        if target is None:
+            merged.append(cluster)
+            target = cluster
+        else:
+            target.blocks.extend(cluster.blocks)
+            target.pubkeys |= cluster.pubkeys
+            target.addresses |= cluster.addresses
+        for pubkey in target.pubkeys:
+            by_pubkey[pubkey] = target
+
+    for cluster in merged:
+        tags = {obs.extra_data for obs in cluster.blocks if obs.extra_data}
+        if tags:
+            cluster.name = sorted(tags)[0]
+        elif cluster.addresses:
+            cluster.name = f"builder@{sorted(cluster.addresses)[0][:10]}"
+        else:
+            cluster.name = f"builder#{sorted(cluster.pubkeys)[0][:12]}"
+    merged.sort(key=lambda cluster: cluster.block_count, reverse=True)
+    return merged
+
+
+def daily_builder_shares(
+    dataset: StudyDataset,
+) -> dict[datetime.date, dict[str, float]]:
+    """Per-day share of PBS blocks built by each clustered builder (Fig. 8)."""
+    clusters = cluster_builders(dataset)
+    name_by_block: dict[int, str] = {}
+    for cluster in clusters:
+        for obs in cluster.blocks:
+            name_by_block[obs.number] = cluster.name
+    shares: dict[datetime.date, dict[str, float]] = {}
+    for date, day_blocks in group_by_date(dataset.pbs_blocks()).items():
+        counts: dict[str, int] = {}
+        total = 0
+        for obs in day_blocks:
+            name = name_by_block.get(obs.number)
+            if name is None:
+                continue
+            counts[name] = counts.get(name, 0) + 1
+            total += 1
+        if total:
+            shares[date] = {name: c / total for name, c in counts.items()}
+    return shares
+
+
+def builder_profit_distribution(dataset: StudyDataset) -> dict[str, list[float]]:
+    """Per-builder distribution of block profits in ETH (Fig. 11).
+
+    Profit = block value minus the payment to the proposer; negative for
+    subsidized blocks.
+    """
+    return {
+        cluster.name: [to_ether(obs.builder_profit_wei) for obs in cluster.blocks]
+        for cluster in cluster_builders(dataset)
+    }
+
+
+def proposer_profit_by_builder(dataset: StudyDataset) -> dict[str, list[float]]:
+    """Per-builder distribution of proposer payments in ETH (Fig. 12)."""
+    return {
+        cluster.name: [to_ether(obs.proposer_profit_wei) for obs in cluster.blocks]
+        for cluster in cluster_builders(dataset)
+    }
+
+
+def daily_profit_split(dataset: StudyDataset) -> tuple[DailySeries, DailySeries]:
+    """Daily builder vs proposer share of PBS block value (Fig. 19).
+
+    Shares can leave [0, 1] on days when subsidies push builder profit
+    negative — the paper's Appendix C spikes.
+    """
+    buckets = group_by_date(
+        [obs for obs in dataset.pbs_blocks() if obs.block_value_wei > 0]
+    )
+    dates = tuple(buckets)
+    builder_values = []
+    proposer_values = []
+    for day_blocks in buckets.values():
+        value = sum(obs.block_value_wei for obs in day_blocks)
+        builder = sum(obs.builder_profit_wei for obs in day_blocks)
+        proposer = sum(obs.proposer_profit_wei for obs in day_blocks)
+        builder_values.append(builder / value if value else 0.0)
+        proposer_values.append(proposer / value if value else 0.0)
+    return (
+        DailySeries("builder profit share", dates, tuple(builder_values)),
+        DailySeries("proposer profit share", dates, tuple(proposer_values)),
+    )
+
+
+@dataclass(frozen=True)
+class BuilderMapRow:
+    """One row of the builder identity map (Table 5)."""
+
+    name: str
+    addresses: tuple[str, ...]
+    pubkeys: tuple[str, ...]
+    blocks: int
+
+
+def builder_map(dataset: StudyDataset, top: int = 17) -> list[BuilderMapRow]:
+    """Builder name -> fee-recipient address(es) -> pubkey(s) (Table 5)."""
+    rows = []
+    for cluster in cluster_builders(dataset)[:top]:
+        rows.append(
+            BuilderMapRow(
+                name=cluster.name,
+                addresses=tuple(sorted(cluster.addresses)),
+                pubkeys=tuple(sorted(cluster.pubkeys)),
+                blocks=cluster.block_count,
+            )
+        )
+    return rows

@@ -1,0 +1,125 @@
+"""Censorship analyses (paper Section 6).
+
+The share of PBS blocks produced by OFAC-compliant relays (Fig. 17), the
+daily share of PBS and non-PBS blocks containing non-compliant
+transactions (Fig. 18), and the per-relay sanctioned-block counts of
+Table 4's right side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.collector import StudyDataset
+from .timeseries import DailySeries, group_by_date
+
+
+def daily_compliant_relay_share(dataset: StudyDataset) -> DailySeries:
+    """Share of each day's PBS blocks attributed to censoring relays.
+
+    Multi-relay blocks contribute fractionally, matching the equal-split
+    attribution of the relay market-share analysis.
+    """
+    compliant = dataset.compliant_relays
+    buckets = group_by_date(
+        [obs for obs in dataset.blocks if obs.relay_claimed]
+    )
+    dates = tuple(buckets)
+    values = []
+    for day_blocks in buckets.values():
+        weight = 0.0
+        for obs in day_blocks:
+            relays = obs.claimed_by_relay
+            weight += sum(1 for relay in relays if relay in compliant) / len(relays)
+        values.append(weight / len(day_blocks))
+    return DailySeries("OFAC-compliant relay share", dates, tuple(values))
+
+
+def daily_sanctioned_share(
+    dataset: StudyDataset,
+) -> tuple[DailySeries, DailySeries]:
+    """Daily share of blocks containing non-OFAC-compliant transactions,
+    PBS vs non-PBS (Fig. 18)."""
+    series = []
+    for name, blocks in zip(
+        ("PBS", "non-PBS"), (dataset.pbs_blocks(), dataset.non_pbs_blocks())
+    ):
+        buckets = group_by_date(blocks)
+        dates = tuple(buckets)
+        values = tuple(
+            sum(obs.is_sanctioned for obs in day_blocks) / len(day_blocks)
+            for day_blocks in buckets.values()
+        )
+        series.append(DailySeries(f"{name} sanctioned share", dates, values))
+    return series[0], series[1]
+
+
+def overall_sanctioned_shares(dataset: StudyDataset) -> dict[str, float]:
+    """Window-level sanctioned-block shares (the paper's 2x headline)."""
+    pbs = dataset.pbs_blocks()
+    non_pbs = dataset.non_pbs_blocks()
+    return {
+        "PBS": sum(obs.is_sanctioned for obs in pbs) / len(pbs) if pbs else 0.0,
+        "non-PBS": (
+            sum(obs.is_sanctioned for obs in non_pbs) / len(non_pbs)
+            if non_pbs
+            else 0.0
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class SanctionedRelayRow:
+    """One relay's sanctioned-block row (Table 4, right side)."""
+
+    relay: str
+    is_compliant: bool
+    sanctioned_blocks: int
+    total_blocks: int
+
+    @property
+    def share(self) -> float:
+        return self.sanctioned_blocks / self.total_blocks if self.total_blocks else 0.0
+
+
+def sanctioned_blocks_by_relay(dataset: StudyDataset) -> list[SanctionedRelayRow]:
+    """Sanctioned-block counts per relay over its delivered blocks."""
+    totals: dict[str, int] = {}
+    sanctioned: dict[str, int] = {}
+    for obs in dataset.blocks:
+        for relay in obs.claimed_by_relay:
+            totals[relay] = totals.get(relay, 0) + 1
+            if obs.is_sanctioned:
+                sanctioned[relay] = sanctioned.get(relay, 0) + 1
+    return [
+        SanctionedRelayRow(
+            relay=relay,
+            is_compliant=relay in dataset.compliant_relays,
+            sanctioned_blocks=sanctioned.get(relay, 0),
+            total_blocks=totals[relay],
+        )
+        for relay in sorted(totals)
+    ]
+
+
+def sanctioned_inclusion_delay_after_updates(
+    dataset: StudyDataset,
+) -> dict[str, float]:
+    """Share of each compliant relay's sanctioned blocks that fall within
+    seven days after an OFAC list update — the paper's "gaps follow
+    updates" observation."""
+    update_dates = dataset.sanctions.update_dates()
+    result: dict[str, float] = {}
+    for row in sanctioned_blocks_by_relay(dataset):
+        if not row.is_compliant:
+            continue
+        near_update = 0
+        total = 0
+        for obs in dataset.blocks:
+            if row.relay not in obs.claimed_by_relay or not obs.is_sanctioned:
+                continue
+            total += 1
+            if any(0 <= (obs.date - update).days <= 7 for update in update_dates):
+                near_update += 1
+        result[row.relay] = near_update / total if total else 0.0
+    return result

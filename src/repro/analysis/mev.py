@@ -1,0 +1,104 @@
+"""MEV analyses (paper Section 5.4, Appendix D).
+
+Counts of MEV transactions per block and the share of block value that MEV
+contributes, split PBS vs non-PBS, plus the bloXroute (Ethical) filter-gap
+measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.collector import StudyDataset
+from ..mev.detection import MEV_SANDWICH
+from .timeseries import DailySeries, group_by_date
+
+
+def daily_mev_per_block(
+    dataset: StudyDataset, kind: str | None = None
+) -> tuple[DailySeries, DailySeries]:
+    """Daily mean number of MEV transactions per block, PBS vs non-PBS.
+
+    ``kind`` restricts to one MEV type (Figs. 20-22); None counts all
+    (Fig. 15).
+    """
+    series = []
+    for name, blocks in zip(
+        ("PBS", "non-PBS"), (dataset.pbs_blocks(), dataset.non_pbs_blocks())
+    ):
+        buckets = group_by_date(blocks)
+        dates = tuple(buckets)
+        values = []
+        for day_blocks in buckets.values():
+            count = 0
+            for obs in day_blocks:
+                labels = dataset.mev.labels_for_block(obs.number)
+                if kind is not None:
+                    labels = [label for label in labels if label.kind == kind]
+                count += len(labels)
+            values.append(count / len(day_blocks))
+        label = kind or "MEV"
+        series.append(DailySeries(f"{name} {label}/block", dates, tuple(values)))
+    return series[0], series[1]
+
+
+def daily_mev_value_share(
+    dataset: StudyDataset,
+) -> tuple[DailySeries, DailySeries]:
+    """Daily mean share of block value attributable to MEV transactions,
+    PBS vs non-PBS (Fig. 16).
+
+    A block's MEV value is the priority fees plus direct tips paid by its
+    MEV-labelled transactions.
+    """
+    series = []
+    for name, blocks in zip(
+        ("PBS", "non-PBS"), (dataset.pbs_blocks(), dataset.non_pbs_blocks())
+    ):
+        buckets = group_by_date(blocks)
+        dates = tuple(buckets)
+        values = []
+        for day_blocks in buckets.values():
+            shares = []
+            for obs in day_blocks:
+                total = obs.block_value_wei
+                if total <= 0:
+                    continue
+                mev_hashes = {
+                    label.tx_hash
+                    for label in dataset.mev.labels_for_block(obs.number)
+                }
+                mev_value = sum(
+                    value
+                    for tx_hash, value in obs.tx_value_contribution.items()
+                    if tx_hash in mev_hashes
+                )
+                shares.append(mev_value / total)
+            values.append(float(np.mean(shares)) if shares else 0.0)
+        series.append(
+            DailySeries(f"{name} MEV value share", dates, tuple(values))
+        )
+    return series[0], series[1]
+
+
+def bloxroute_ethical_sandwiches(dataset: StudyDataset) -> int:
+    """Sandwich transactions delivered through bloXroute (Ethical).
+
+    The relay announces a front-running filter; the paper counts 2,002
+    sandwich transactions that got through anyway.
+    """
+    count = 0
+    for obs in dataset.blocks:
+        if "bloXroute (E)" not in obs.claimed_by_relay:
+            continue
+        count += sum(
+            1
+            for label in dataset.mev.labels_for_block(obs.number)
+            if label.kind == MEV_SANDWICH
+        )
+    return count
+
+
+def mev_totals_by_kind(dataset: StudyDataset) -> dict[str, int]:
+    """Total labelled MEV transactions per kind over the study window."""
+    return dataset.mev.count_by_kind()

@@ -1,0 +1,148 @@
+"""Relay landscape analyses (paper Section 4.1, 5.2).
+
+* daily relay market shares with equal splitting of multi-relay blocks
+  (Figure 5),
+* distinct builders submitting per relay per day (Figure 7),
+* the relay trust table: delivered vs promised value and the share of
+  over-promised blocks (Table 4, left side).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from ..datasets.collector import StudyDataset
+from ..types import Wei, to_ether
+from .timeseries import group_by_date
+
+
+def daily_relay_shares(
+    dataset: StudyDataset,
+    include_non_pbs: bool = False,
+) -> dict[datetime.date, dict[str, float]]:
+    """Per-day share of blocks attributed to each relay.
+
+    A block delivered by several relays is attributed to each equally, as
+    in the paper.  With ``include_non_pbs`` the denominator covers all
+    blocks and unclaimed blocks are attributed to ``"(none)"``.
+    """
+    shares: dict[datetime.date, dict[str, float]] = {}
+    for date, day_blocks in group_by_date(dataset.blocks).items():
+        weights: dict[str, float] = {}
+        denominator = 0
+        for obs in day_blocks:
+            relays = sorted(obs.claimed_by_relay)
+            if not relays:
+                if include_non_pbs:
+                    weights["(none)"] = weights.get("(none)", 0.0) + 1.0
+                    denominator += 1
+                continue
+            denominator += 1
+            for relay in relays:
+                weights[relay] = weights.get(relay, 0.0) + 1.0 / len(relays)
+        if denominator:
+            shares[date] = {
+                name: weight / denominator for name, weight in weights.items()
+            }
+    return shares
+
+
+def multi_relay_share(dataset: StudyDataset) -> float:
+    """Share of PBS blocks claimed by more than one relay (~5% in the paper)."""
+    pbs = [obs for obs in dataset.blocks if obs.relay_claimed]
+    if not pbs:
+        return 0.0
+    return sum(len(obs.claimed_by_relay) > 1 for obs in pbs) / len(pbs)
+
+
+def builders_per_relay_daily(
+    dataset: StudyDataset,
+) -> dict[str, dict[datetime.date, int]]:
+    """Distinct builders whose submissions each relay accepted, per day.
+
+    Uses the relay data API (builder_blocks_received), joining slots to
+    dates through the block observations, as the paper's crawl does.
+    """
+    slot_to_date = {obs.slot: obs.date for obs in dataset.blocks}
+    result: dict[str, dict[datetime.date, int]] = {}
+    for name, relay in dataset.relays.items():
+        per_day: dict[datetime.date, set[str]] = {}
+        for record in relay.data.get_builder_blocks_received():
+            if not record.accepted:
+                continue
+            date = slot_to_date.get(record.slot)
+            if date is None:
+                continue
+            per_day.setdefault(date, set()).add(record.builder_pubkey)
+        result[name] = {
+            date: len(pubkeys) for date, pubkeys in sorted(per_day.items())
+        }
+    return result
+
+
+@dataclass(frozen=True)
+class RelayTrustRow:
+    """One relay's row in Table 4 (left side)."""
+
+    relay: str
+    delivered_value_eth: float
+    promised_value_eth: float
+    share_of_value_delivered: float
+    share_over_promised_blocks: float
+    blocks: int
+
+
+def relay_trust_table(dataset: StudyDataset) -> list[RelayTrustRow]:
+    """Delivered vs promised value per relay over its delivered payloads.
+
+    For each delivered payload, the promised value is the relay's claim and
+    the delivered value is what the chain shows the proposer received.
+    """
+    per_relay: dict[str, list[tuple[Wei, Wei]]] = {}
+    for obs in dataset.blocks:
+        if not obs.claimed_by_relay:
+            continue
+        delivered = obs.delivered_value_wei
+        for relay, claimed in obs.claimed_by_relay.items():
+            per_relay.setdefault(relay, []).append((claimed, delivered))
+
+    rows: list[RelayTrustRow] = []
+    for relay in sorted(per_relay):
+        pairs = per_relay[relay]
+        promised = sum(claimed for claimed, _ in pairs)
+        delivered = sum(actual for _, actual in pairs)
+        over_promised = sum(1 for claimed, actual in pairs if claimed > actual)
+        rows.append(
+            RelayTrustRow(
+                relay=relay,
+                delivered_value_eth=to_ether(delivered),
+                promised_value_eth=to_ether(promised),
+                share_of_value_delivered=(
+                    delivered / promised if promised else 1.0
+                ),
+                share_over_promised_blocks=over_promised / len(pairs),
+                blocks=len(pairs),
+            )
+        )
+    return rows
+
+
+def pbs_totals_row(rows: list[RelayTrustRow]) -> RelayTrustRow:
+    """The aggregate "PBS" row at the bottom of Table 4.
+
+    Note: summing per-relay rows double-counts multi-relay blocks exactly
+    as the paper's table does (each relay independently promises).
+    """
+    delivered = sum(row.delivered_value_eth for row in rows)
+    promised = sum(row.promised_value_eth for row in rows)
+    blocks = sum(row.blocks for row in rows)
+    over = sum(row.share_over_promised_blocks * row.blocks for row in rows)
+    return RelayTrustRow(
+        relay="PBS",
+        delivered_value_eth=delivered,
+        promised_value_eth=promised,
+        share_of_value_delivered=delivered / promised if promised else 1.0,
+        share_over_promised_blocks=over / blocks if blocks else 0.0,
+        blocks=blocks,
+    )

@@ -1,0 +1,86 @@
+"""Daily-aggregation helpers shared by every analysis."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from ..datasets.records import BlockObservation
+from ..errors import AnalysisError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class DailySeries:
+    """One named daily time series."""
+
+    name: str
+    dates: tuple[datetime.date, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dates) != len(self.values):
+            raise AnalysisError(
+                f"series {self.name}: {len(self.dates)} dates vs "
+                f"{len(self.values)} values"
+            )
+
+    def __len__(self) -> int:
+        return len(self.dates)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise AnalysisError(f"series {self.name} is empty")
+        return float(np.mean(self.values))
+
+    def last(self) -> float:
+        if not self.values:
+            raise AnalysisError(f"series {self.name} is empty")
+        return self.values[-1]
+
+    def window_mean(
+        self, start: datetime.date, end: datetime.date
+    ) -> float:
+        """Mean over dates in [start, end]; raises on empty windows."""
+        selected = [
+            value
+            for date, value in zip(self.dates, self.values)
+            if start <= date <= end
+        ]
+        if not selected:
+            raise AnalysisError(
+                f"series {self.name}: no data in [{start}, {end}]"
+            )
+        return float(np.mean(selected))
+
+
+def group_by_date(
+    blocks: Iterable[BlockObservation],
+) -> dict[datetime.date, list[BlockObservation]]:
+    """Bucket block observations by calendar date, ascending."""
+    buckets: dict[datetime.date, list[BlockObservation]] = {}
+    for obs in blocks:
+        buckets.setdefault(obs.date, []).append(obs)
+    return dict(sorted(buckets.items()))
+
+
+def daily_series(
+    name: str,
+    blocks: Iterable[BlockObservation],
+    reducer: Callable[[list[BlockObservation]], float],
+) -> DailySeries:
+    """Apply a per-day reducer over grouped observations."""
+    buckets = group_by_date(blocks)
+    dates = tuple(buckets)
+    values = tuple(float(reducer(day_blocks)) for day_blocks in buckets.values())
+    return DailySeries(name=name, dates=dates, values=values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        raise AnalysisError("cannot take a percentile of no data")
+    return float(np.percentile(np.asarray(values, dtype=float), q))

@@ -1,0 +1,48 @@
+"""Consensus-layer reward accounting.
+
+The paper notes these rewards (~0.034 ETH per proposed block, ~0.0000125
+ETH per committee validation) but excludes them from its analysis because
+they are protocol-set and orthogonal to PBS.  We track them anyway so the
+substrate is complete and the exclusion is an analysis-side decision, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..constants import (
+    BEACON_ATTESTER_REWARD_WEI,
+    BEACON_PROPOSER_REWARD_WEI,
+)
+from ..types import Wei
+
+
+@dataclass
+class RewardLedger:
+    """Cumulative beacon rewards per validator index."""
+
+    proposer_rewards: dict[int, Wei] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    attester_rewards: dict[int, Wei] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def reward_proposer(self, validator_index: int) -> Wei:
+        """Credit the block-proposal reward; returns the amount."""
+        self.proposer_rewards[validator_index] += BEACON_PROPOSER_REWARD_WEI
+        return BEACON_PROPOSER_REWARD_WEI
+
+    def reward_attesters(self, validator_indices: list[int]) -> Wei:
+        """Credit committee-attestation rewards; returns the total."""
+        for index in validator_indices:
+            self.attester_rewards[index] += BEACON_ATTESTER_REWARD_WEI
+        return BEACON_ATTESTER_REWARD_WEI * len(validator_indices)
+
+    def total_rewards(self, validator_index: int) -> Wei:
+        return (
+            self.proposer_rewards.get(validator_index, 0)
+            + self.attester_rewards.get(validator_index, 0)
+        )

@@ -1,0 +1,51 @@
+"""EIP-1559 base-fee dynamics.
+
+Implements the mainnet base-fee update rule: the base fee moves toward
+equilibrium by at most 1/8 per block, proportionally to how far the parent
+block's gas usage was from the gas target.
+"""
+
+from __future__ import annotations
+
+from ..constants import (
+    BASE_FEE_MAX_CHANGE_DENOMINATOR,
+    ELASTICITY_MULTIPLIER,
+    MIN_BASE_FEE_WEI,
+)
+from ..errors import ChainError
+from ..types import Gas, Wei
+
+
+def gas_target(gas_limit: Gas) -> Gas:
+    """Gas target for a block: the limit divided by the elasticity multiplier."""
+    return gas_limit // ELASTICITY_MULTIPLIER
+
+
+def next_base_fee(
+    parent_base_fee: Wei,
+    parent_gas_used: Gas,
+    parent_gas_limit: Gas,
+) -> Wei:
+    """Base fee of the child block, per the EIP-1559 update rule."""
+    if parent_base_fee < 0:
+        raise ChainError(f"negative parent base fee: {parent_base_fee}")
+    if parent_gas_used < 0 or parent_gas_used > parent_gas_limit:
+        raise ChainError(
+            f"parent gas used {parent_gas_used} outside [0, {parent_gas_limit}]"
+        )
+
+    target = gas_target(parent_gas_limit)
+    if parent_gas_used == target:
+        return max(parent_base_fee, MIN_BASE_FEE_WEI)
+
+    if parent_gas_used > target:
+        delta = parent_gas_used - target
+        increase = max(
+            parent_base_fee * delta // target // BASE_FEE_MAX_CHANGE_DENOMINATOR,
+            1,
+        )
+        return max(parent_base_fee + increase, MIN_BASE_FEE_WEI)
+
+    delta = target - parent_gas_used
+    decrease = parent_base_fee * delta // target // BASE_FEE_MAX_CHANGE_DENOMINATOR
+    return max(parent_base_fee - decrease, MIN_BASE_FEE_WEI)

@@ -1,0 +1,55 @@
+"""Internal-call traces.
+
+The paper traces every transaction to find internal ETH transfers — the
+only way to see "direct transfers" (searcher tips to the fee recipient) and
+ETH moved to/from sanctioned addresses inside contract calls.  Our engine
+records an equivalent frame for every value movement a transaction causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..types import Address, Hash, Wei
+
+# Frame kinds.
+FRAME_TOP_LEVEL = "call"  # the transaction's own top-level value transfer
+FRAME_INTERNAL = "internal"  # value moved by contract execution
+FRAME_COINBASE_TIP = "coinbase-tip"  # internal transfer to the fee recipient
+
+
+@dataclass(frozen=True)
+class CallFrame:
+    """One value-moving frame inside a transaction trace."""
+
+    depth: int
+    sender: Address
+    recipient: Address
+    value_wei: Wei
+    kind: str = FRAME_INTERNAL
+
+
+@dataclass(frozen=True)
+class TransactionTrace:
+    """All value-moving frames of one executed transaction, in order."""
+
+    tx_hash: Hash
+    frames: tuple[CallFrame, ...]
+
+    def iter_value_transfers(self) -> Iterator[CallFrame]:
+        """Frames that actually moved a nonzero amount of ETH."""
+        return (frame for frame in self.frames if frame.value_wei > 0)
+
+    def transfers_to(self, recipient: Address) -> Wei:
+        """Total ETH this transaction moved to ``recipient``."""
+        return sum(
+            frame.value_wei for frame in self.frames if frame.recipient == recipient
+        )
+
+    def touches(self, address: Address) -> bool:
+        """Whether any nonzero transfer involves ``address`` as sender/recipient."""
+        return any(
+            address in (frame.sender, frame.recipient)
+            for frame in self.iter_value_transfers()
+        )

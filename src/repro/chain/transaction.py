@@ -1,0 +1,227 @@
+"""EIP-1559 transactions and the action payloads they carry.
+
+Instead of EVM bytecode, a transaction carries a tuple of typed *actions*
+(ETH transfers, ERC-20 transfers, AMM swaps, liquidations, coinbase tips).
+Executing the actions produces exactly the observable artefacts the paper's
+pipeline reads — event logs and internal value-transfer traces — so the
+measurement code runs unchanged over the simulated chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..types import Address, Gas, Hash, Wei, derive_hash
+
+# Gas cost model (mainnet-flavoured orders of magnitude).
+INTRINSIC_GAS: Gas = 21_000
+ETH_TRANSFER_GAS: Gas = 0  # covered by intrinsic gas
+TOKEN_TRANSFER_GAS: Gas = 45_000
+SWAP_GAS: Gas = 120_000
+LIQUIDATION_GAS: Gas = 250_000
+COINBASE_TIP_GAS: Gas = 9_000
+
+# Where a transaction entered the system.  Consensus data never exposes
+# this; analyses must infer public/private from mempool observations.
+ORIGIN_PUBLIC = "public"
+ORIGIN_PRIVATE = "private"
+ORIGIN_BUNDLE = "bundle"
+_VALID_ORIGINS = frozenset({ORIGIN_PUBLIC, ORIGIN_PRIVATE, ORIGIN_BUNDLE})
+
+
+@dataclass(frozen=True)
+class EthTransfer:
+    """Plain ETH transfer to ``recipient``."""
+
+    recipient: Address
+    value_wei: Wei
+
+    gas_cost: Gas = field(default=ETH_TRANSFER_GAS, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class TokenTransfer:
+    """ERC-20 transfer of ``amount`` units of ``token`` to ``recipient``."""
+
+    token: str
+    recipient: Address
+    amount: int
+
+    gas_cost: Gas = field(default=TOKEN_TRANSFER_GAS, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class SwapExact:
+    """Swap ``amount_in`` of ``token_in`` on ``pool_id`` for the other token.
+
+    Reverts the transaction if the output is below ``min_amount_out``
+    (slippage protection) — the hook that makes sandwich attacks and failed
+    victim swaps behave realistically.
+    """
+
+    pool_id: str
+    token_in: str
+    amount_in: int
+    min_amount_out: int = 0
+
+    gas_cost: Gas = field(default=SWAP_GAS, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class LiquidatePosition:
+    """Liquidate ``borrower``'s position on lending market ``market_id``."""
+
+    market_id: str
+    borrower: Address
+
+    gas_cost: Gas = field(default=LIQUIDATION_GAS, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class TipCoinbase:
+    """Internal ETH transfer to the block's fee recipient.
+
+    This is how searchers pay builders ("direct transfers"): it shows up
+    only in transaction traces, never as a top-level transfer.
+    """
+
+    value_wei: Wei
+
+    gas_cost: Gas = field(default=COINBASE_TIP_GAS, repr=False, compare=False)
+
+
+Action = EthTransfer | TokenTransfer | SwapExact | LiquidatePosition | TipCoinbase
+
+_tx_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An EIP-1559 (type-2) transaction carrying typed actions."""
+
+    tx_hash: Hash
+    sender: Address
+    nonce: int
+    max_fee_per_gas: Wei
+    max_priority_fee_per_gas: Wei
+    actions: tuple[Action, ...]
+    # Extra gas emulating heavier contract interaction beyond the typed
+    # actions; lets blocks reach mainnet-like gas totals at simulator scale.
+    extra_gas: Gas = 0
+    origin: str = ORIGIN_PUBLIC
+    created_slot: int = 0
+
+    def __post_init__(self) -> None:
+        if self.origin not in _VALID_ORIGINS:
+            raise ConfigError(f"unknown transaction origin: {self.origin!r}")
+        if self.max_priority_fee_per_gas > self.max_fee_per_gas:
+            raise ConfigError(
+                "max_priority_fee_per_gas exceeds max_fee_per_gas for "
+                f"{self.tx_hash}"
+            )
+        if self.max_fee_per_gas < 0 or self.max_priority_fee_per_gas < 0:
+            raise ConfigError(f"negative fee caps for {self.tx_hash}")
+        if self.extra_gas < 0:
+            raise ConfigError(f"negative extra gas for {self.tx_hash}")
+
+    @property
+    def gas_limit(self) -> Gas:
+        """Total gas consumed if every action executes (our model is exact)."""
+        return (
+            INTRINSIC_GAS
+            + sum(action.gas_cost for action in self.actions)
+            + self.extra_gas
+        )
+
+    def is_eligible(self, base_fee_per_gas: Wei) -> bool:
+        """Whether the fee cap allows inclusion at the given base fee."""
+        return self.max_fee_per_gas >= base_fee_per_gas
+
+    def priority_fee_per_gas(self, base_fee_per_gas: Wei) -> Wei:
+        """Effective tip per gas unit at the given base fee (EIP-1559)."""
+        return min(
+            self.max_priority_fee_per_gas,
+            self.max_fee_per_gas - base_fee_per_gas,
+        )
+
+    def effective_gas_price(self, base_fee_per_gas: Wei) -> Wei:
+        """Total per-gas price the sender pays at the given base fee."""
+        return base_fee_per_gas + self.priority_fee_per_gas(base_fee_per_gas)
+
+    def max_spend(self) -> Wei:
+        """Upper bound on ETH leaving the sender (fees + transferred value)."""
+        value = sum(
+            action.value_wei
+            for action in self.actions
+            if isinstance(action, (EthTransfer, TipCoinbase))
+        )
+        return self.gas_limit * self.max_fee_per_gas + value
+
+
+class TransactionFactory:
+    """Creates transactions with deterministic, world-local unique hashes.
+
+    Each simulated world owns one factory, so identical seeds produce
+    byte-identical transaction hashes regardless of how many worlds were
+    built earlier in the process.
+    """
+
+    def __init__(self, namespace: str = "tx") -> None:
+        self._namespace = namespace
+        self._counter = itertools.count()
+
+    def create(
+        self,
+        sender: Address,
+        nonce: int,
+        actions: tuple[Action, ...] | list[Action],
+        max_fee_per_gas: Wei,
+        max_priority_fee_per_gas: Wei,
+        extra_gas: Gas = 0,
+        origin: str = ORIGIN_PUBLIC,
+        created_slot: int = 0,
+    ) -> Transaction:
+        index = next(self._counter)
+        return Transaction(
+            tx_hash=derive_hash(self._namespace, f"{sender}:{nonce}:{index}"),
+            sender=sender,
+            nonce=nonce,
+            max_fee_per_gas=max_fee_per_gas,
+            max_priority_fee_per_gas=max_priority_fee_per_gas,
+            actions=tuple(actions),
+            extra_gas=extra_gas,
+            origin=origin,
+            created_slot=created_slot,
+        )
+
+
+_default_factory = TransactionFactory()
+
+
+def make_transaction(
+    sender: Address,
+    nonce: int,
+    actions: tuple[Action, ...] | list[Action],
+    max_fee_per_gas: Wei,
+    max_priority_fee_per_gas: Wei,
+    extra_gas: Gas = 0,
+    origin: str = ORIGIN_PUBLIC,
+    created_slot: int = 0,
+) -> Transaction:
+    """Create a transaction via the process-wide default factory.
+
+    Convenience for tests and examples; simulations should use their own
+    :class:`TransactionFactory` for cross-run hash determinism.
+    """
+    return _default_factory.create(
+        sender,
+        nonce,
+        actions,
+        max_fee_per_gas,
+        max_priority_fee_per_gas,
+        extra_gas=extra_gas,
+        origin=origin,
+        created_slot=created_slot,
+    )

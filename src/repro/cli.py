@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+Drives the whole study from a terminal:
+
+* ``python -m repro simulate`` — build a world, collect the dataset,
+  optionally export CSVs, and print a summary;
+* ``python -m repro report`` — build a world and print selected paper
+  figures/tables;
+* ``python -m repro inventory`` — print the Table 1 dataset inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .analysis import (
+    daily_block_value,
+    daily_compliant_relay_share,
+    daily_mev_per_block,
+    daily_pbs_share,
+    daily_private_tx_share,
+    daily_sanctioned_share,
+    daily_user_payment_shares,
+)
+from .analysis.concentration import daily_hhi_series
+from .analysis import daily_builder_shares, daily_relay_shares
+from .analysis.relays import pbs_totals_row, relay_trust_table
+from .analysis.report import render_series, render_table
+from .datasets import collect_study_dataset
+from .datasets.storage import export_study_dataset
+from .simulation import SimulationConfig, build_world
+
+REPORTS = (
+    "fig03", "fig04", "fig06", "fig09", "fig14", "fig15", "fig17", "fig18",
+    "table4",
+)
+
+
+def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument(
+        "--days", type=int, default=30,
+        help="study days to simulate (1-198, day 0 = the merge)",
+    )
+    parser.add_argument(
+        "--blocks-per-day", type=int, default=12, dest="blocks_per_day",
+        help="simulated block opportunities per day",
+    )
+    parser.add_argument(
+        "--validators", type=int, default=300, help="validator count"
+    )
+    parser.add_argument(
+        "--epbs", action="store_true",
+        help="run the enshrined-PBS counterfactual instead of relays",
+    )
+
+
+def _build_dataset(args: argparse.Namespace):
+    config = SimulationConfig(
+        seed=args.seed,
+        num_days=args.days,
+        blocks_per_day=args.blocks_per_day,
+        num_validators=args.validators,
+        use_enshrined_pbs=args.epbs,
+    )
+    print(
+        f"simulating {config.num_days} days x {config.blocks_per_day} "
+        f"blocks/day (seed {config.seed})...",
+        file=sys.stderr,
+    )
+    world = build_world(config).run()
+    return world, collect_study_dataset(world)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    world, dataset = _build_dataset(args)
+    pbs = dataset.pbs_blocks()
+    print(f"blocks: {len(dataset.blocks)} ({len(pbs)} PBS)")
+    print(f"transactions: {world.chain.total_transactions()}")
+    print(f"missed slots: {world.beacon.missed_count()}")
+    print(render_series(daily_pbs_share(dataset)))
+    if args.export:
+        written = export_study_dataset(dataset, args.export)
+        for name, path in sorted(written.items()):
+            print(f"wrote {name}: {path}")
+    return 0
+
+
+def cmd_inventory(args: argparse.Namespace) -> int:
+    _, dataset = _build_dataset(args)
+    inventory = dataset.inventory
+    rows = [
+        ["blocks", inventory.blocks],
+        ["transactions", inventory.transactions],
+        ["logs", inventory.logs],
+        ["traces", inventory.traces],
+        ["mempool arrival times", inventory.mempool_arrival_times],
+        ["relay data entries", inventory.relay_data_entries],
+        ["OFAC addresses", inventory.ofac_addresses],
+    ]
+    for source, count in sorted(inventory.mev_labels_by_source.items()):
+        rows.append([f"MEV labels ({source})", count])
+    rows.append(["MEV labels (union)", inventory.mev_labels_union])
+    print(render_table(["dataset", "entries"], rows, title="Table 1"))
+    return 0
+
+
+def _report_fig03(dataset) -> None:
+    for series in daily_user_payment_shares(dataset):
+        print(render_series(series))
+
+
+def _report_fig04(dataset) -> None:
+    print(render_series(daily_pbs_share(dataset)))
+
+
+def _report_fig06(dataset) -> None:
+    print(render_series(daily_hhi_series("relay HHI", daily_relay_shares(dataset))))
+    print(
+        render_series(
+            daily_hhi_series("builder HHI", daily_builder_shares(dataset))
+        )
+    )
+
+
+def _report_pair(maker) -> Callable[[object], None]:
+    def _run(dataset) -> None:
+        pbs, non_pbs = maker(dataset)
+        print(render_series(pbs))
+        print(render_series(non_pbs))
+
+    return _run
+
+
+def _report_fig17(dataset) -> None:
+    print(render_series(daily_compliant_relay_share(dataset)))
+
+
+def _report_table4(dataset) -> None:
+    rows = relay_trust_table(dataset)
+    table = [
+        [row.relay, round(row.delivered_value_eth, 3),
+         round(row.promised_value_eth, 3),
+         round(row.share_of_value_delivered, 5),
+         round(row.share_over_promised_blocks, 4), row.blocks]
+        for row in rows
+    ]
+    totals = pbs_totals_row(rows)
+    table.append(
+        ["PBS", round(totals.delivered_value_eth, 3),
+         round(totals.promised_value_eth, 3),
+         round(totals.share_of_value_delivered, 5),
+         round(totals.share_over_promised_blocks, 4), totals.blocks]
+    )
+    print(
+        render_table(
+            ["relay", "delivered", "promised", "share", "overpromised", "n"],
+            table,
+            title="Table 4 (left)",
+        )
+    )
+
+
+_REPORT_RUNNERS: dict[str, Callable[[object], None]] = {
+    "fig03": _report_fig03,
+    "fig04": _report_fig04,
+    "fig06": _report_fig06,
+    "fig09": _report_pair(daily_block_value),
+    "fig14": _report_pair(daily_private_tx_share),
+    "fig15": _report_pair(daily_mev_per_block),
+    "fig17": _report_fig17,
+    "fig18": _report_pair(daily_sanctioned_share),
+    "table4": _report_table4,
+}
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    wanted = args.only.split(",") if args.only else list(REPORTS)
+    unknown = [name for name in wanted if name not in _REPORT_RUNNERS]
+    if unknown:
+        print(f"unknown reports: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(_REPORT_RUNNERS))}", file=sys.stderr)
+        return 2
+    _, dataset = _build_dataset(args)
+    for name in wanted:
+        print(f"\n== {name} ==")
+        _REPORT_RUNNERS[name](dataset)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Ethereum's Proposer-Builder Separation: "
+            "Promises and Realities' (IMC 2023)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="build a world and summarize/export the dataset"
+    )
+    _add_world_arguments(simulate)
+    simulate.add_argument(
+        "--export", default=None, help="directory for CSV/JSON export"
+    )
+    simulate.set_defaults(handler=cmd_simulate)
+
+    inventory = subparsers.add_parser(
+        "inventory", help="print the Table 1 dataset inventory"
+    )
+    _add_world_arguments(inventory)
+    inventory.set_defaults(handler=cmd_inventory)
+
+    report = subparsers.add_parser(
+        "report", help="print selected paper figures/tables"
+    )
+    _add_world_arguments(report)
+    report.add_argument(
+        "--only",
+        default=None,
+        help=f"comma-separated report names (default: {','.join(REPORTS)})",
+    )
+    report.set_defaults(handler=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

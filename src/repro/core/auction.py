@@ -1,0 +1,153 @@
+"""The per-slot PBS auction.
+
+Orchestrates one slot end to end: builders build and submit to their
+relays, relays filter and pick their best bid, the proposer's MEV-Boost
+client selects the highest claim across its subscribed relays, and the
+signed block (or the local fallback) becomes the slot's outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..beacon.validator import Validator
+from ..chain.block import Block
+from ..chain.execution import BlockExecutionResult, ExecutionContext
+from ..chain.validation import validate_header
+from .builder import BlockBuilder, BuilderSubmission
+from .context import SlotContext
+from .mev_boost import MevBoostClient
+from .proposer import LocalBlockBuilder
+from .relay import Relay
+
+MODE_PBS = "pbs"
+MODE_LOCAL = "local"
+MODE_FALLBACK = "pbs-fallback"  # bid taken, block rejected, built locally
+
+
+@dataclass
+class SlotOutcome:
+    """Everything that happened in one slot's block production."""
+
+    slot: int
+    mode: str
+    block: Block
+    result: BlockExecutionResult
+    proposer: Validator
+    winning_submission: BuilderSubmission | None
+    delivering_relays: tuple[str, ...]
+    speculative_ctx: ExecutionContext
+
+    @property
+    def used_pbs(self) -> bool:
+        return self.mode == MODE_PBS
+
+
+class SlotAuction:
+    """Runs the PBS auction (and local fallback) for one slot at a time."""
+
+    def __init__(
+        self,
+        relays: dict[str, Relay],
+        builders: dict[str, BlockBuilder],
+        local_builder: LocalBlockBuilder | None = None,
+    ) -> None:
+        self.relays = relays
+        self.builders = builders
+        self.local_builder = local_builder or LocalBlockBuilder()
+        self.mev_boost = MevBoostClient(relays)
+
+    def run(
+        self,
+        ctx: SlotContext,
+        proposer: Validator,
+        active_builders: list[str],
+    ) -> SlotOutcome:
+        """Produce this slot's block through PBS or local building."""
+        self._collect_submissions(ctx, proposer, active_builders)
+        outcome = self._propose(ctx, proposer)
+        for relay in self.relays.values():
+            relay.drop_slot(ctx.slot)
+        return outcome
+
+    # -- builder phase -----------------------------------------------------
+
+    def _collect_submissions(
+        self,
+        ctx: SlotContext,
+        proposer: Validator,
+        active_builders: list[str],
+    ) -> list[BuilderSubmission]:
+        submissions: list[BuilderSubmission] = []
+        for name in active_builders:
+            builder = self.builders.get(name)
+            if builder is None:
+                continue
+            submission = builder.build(ctx, proposer)
+            if submission is None:
+                continue
+            accepted_anywhere = False
+            for relay_name in builder.relays:
+                relay = self.relays.get(relay_name)
+                if relay is None:
+                    continue
+                if relay.receive_submission(submission, ctx.day):
+                    accepted_anywhere = True
+            if accepted_anywhere:
+                submissions.append(submission)
+        return submissions
+
+    # -- proposer phase ----------------------------------------------------
+
+    def _propose(self, ctx: SlotContext, proposer: Validator) -> SlotOutcome:
+        if proposer.uses_mev_boost and proposer.relays:
+            selection = self.mev_boost.get_best_bid(ctx.slot, proposer.relays)
+            if selection is not None and (
+                selection.claimed_value_wei >= proposer.min_bid_wei
+            ):
+                # Sign the header: the serving relays reveal and record the
+                # delivery.  Only then can the proposer's node validate the
+                # payload — exactly the trust structure the paper examines.
+                submission = self.mev_boost.accept(ctx.slot, selection)
+                issues = validate_header(
+                    submission.block.header,
+                    expected_parent_hash=ctx.parent_hash,
+                    expected_number=ctx.block_number,
+                    expected_timestamp=ctx.timestamp,
+                    expected_base_fee=ctx.base_fee,
+                )
+                if issues:
+                    # Rejected by the execution client after signing; fall
+                    # back to local production (the 2022-11-10 dip).
+                    block, result, fork = self.local_builder.build(ctx, proposer)
+                    return SlotOutcome(
+                        slot=ctx.slot,
+                        mode=MODE_FALLBACK,
+                        block=block,
+                        result=result,
+                        proposer=proposer,
+                        winning_submission=None,
+                        delivering_relays=(),
+                        speculative_ctx=fork,
+                    )
+                return SlotOutcome(
+                    slot=ctx.slot,
+                    mode=MODE_PBS,
+                    block=submission.block,
+                    result=submission.result,
+                    proposer=proposer,
+                    winning_submission=submission,
+                    delivering_relays=selection.relays,
+                    speculative_ctx=submission.speculative_ctx,
+                )
+        block, result, fork = self.local_builder.build(ctx, proposer)
+        return SlotOutcome(
+            slot=ctx.slot,
+            mode=MODE_LOCAL,
+            block=block,
+            result=result,
+            proposer=proposer,
+            winning_submission=None,
+            delivering_relays=(),
+            speculative_ctx=fork,
+        )

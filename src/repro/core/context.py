@@ -1,0 +1,58 @@
+"""Per-slot context handed to builders, relays and proposers.
+
+Bundles everything one slot of block production needs: canonical execution
+context (to fork), fee-market parameters, mempool and private order flow,
+searcher bundles routed per builder, the sanctions list, and the slot's
+deterministic RNG stream.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chain.execution import ExecutionContext, ExecutionEngine
+from ..chain.transaction import TransactionFactory
+from ..mempool.pool import SharedMempool
+from ..mempool.private import PrivateOrderFlow
+from ..mev.bundles import Bundle
+from ..sanctions.ofac import SanctionsList
+from ..types import Hash, Wei
+
+
+@dataclass
+class SlotContext:
+    """Everything block production needs for one slot."""
+
+    slot: int
+    day: int
+    date: datetime.date
+    timestamp: int
+    block_number: int
+    parent_hash: Hash
+    base_fee: Wei
+    gas_limit: int
+    canonical_ctx: ExecutionContext
+    engine: ExecutionEngine
+    mempool: SharedMempool
+    private_flow: PrivateOrderFlow
+    # Bundles routed to each builder by the searchers this slot.
+    bundles_by_builder: dict[str, list[Bundle]]
+    sanctions: SanctionsList
+    rng: np.random.Generator
+    tx_factory: TransactionFactory
+    # Wall-clock moment builders stop pulling from the mempool.
+    build_cutoff_time: float = 0.0
+
+    def bundles_for(self, builder_name: str) -> list[Bundle]:
+        return list(self.bundles_by_builder.get(builder_name, []))
+
+    def current_sanctioned_addresses(self) -> frozenset:
+        """The publicly known OFAC set on this slot's date (cached)."""
+        cached = getattr(self, "_sanctioned_cache", None)
+        if cached is None:
+            cached = self.sanctions.addresses_as_of(self.date)
+            self._sanctioned_cache = cached
+        return cached

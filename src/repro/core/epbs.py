@@ -1,0 +1,145 @@
+"""Enshrined PBS (ePBS): the relay-free design the paper's conclusion
+discusses.
+
+The paper closes on the Ethereum roadmap's plan to integrate PBS natively
+(two-slot proposer/builder separation): the protocol itself escrows builder
+bids, so the *value-delivery* trust assumption disappears — but, as the
+paper stresses, the proposal "is restricted to ensuring that the value is
+delivered but does not address the other aspects" (censorship and MEV
+filtering promises).  This module implements that counterfactual so the
+claim is measurable:
+
+* no relays — builder bids are protocol objects every proposer sees;
+* the winning bid's payment is **enforced**: if the block's embedded
+  payment falls short of the committed bid, the protocol settles the
+  difference from the builder's collateral (so delivered == promised by
+  construction);
+* builder-side behaviour (including self-censoring or including sanctioned
+  transactions) is untouched — censorship outcomes persist.
+"""
+
+from __future__ import annotations
+
+from ..beacon.validator import Validator
+from ..chain.validation import validate_header
+from .auction import MODE_FALLBACK, MODE_LOCAL, SlotAuction, SlotOutcome
+from .builder import BlockBuilder, BuilderSubmission
+from .context import SlotContext
+from .proposer import LocalBlockBuilder
+
+MODE_EPBS = "epbs"
+
+
+class EnshrinedPBSAuction(SlotAuction):
+    """A per-slot builder auction run by the protocol, without relays."""
+
+    def __init__(
+        self,
+        builders: dict[str, BlockBuilder],
+        local_builder: LocalBlockBuilder | None = None,
+    ) -> None:
+        super().__init__(relays={}, builders=builders, local_builder=local_builder)
+
+    def run(
+        self,
+        ctx: SlotContext,
+        proposer: Validator,
+        active_builders: list[str],
+    ) -> SlotOutcome:
+        """Produce this slot's block through the in-protocol auction.
+
+        Every proposer participates (the scheme is enshrined, not opt-in);
+        local building remains only as the no-bids fallback.
+        """
+        submissions: list[BuilderSubmission] = []
+        for name in active_builders:
+            builder = self.builders.get(name)
+            if builder is None:
+                continue
+            submission = builder.build(ctx, proposer)
+            if submission is not None:
+                submissions.append(submission)
+
+        best = self._select(submissions)
+        if best is None:
+            block, result, fork = self.local_builder.build(ctx, proposer)
+            return SlotOutcome(
+                slot=ctx.slot,
+                mode=MODE_LOCAL,
+                block=block,
+                result=result,
+                proposer=proposer,
+                winning_submission=None,
+                delivering_relays=(),
+                speculative_ctx=fork,
+            )
+
+        issues = validate_header(
+            best.block.header,
+            expected_parent_hash=ctx.parent_hash,
+            expected_number=ctx.block_number,
+            expected_timestamp=ctx.timestamp,
+            expected_base_fee=ctx.base_fee,
+        )
+        if issues:
+            # Protocol-level validation: invalid payloads never win, the
+            # slot falls back to a local block.
+            block, result, fork = self.local_builder.build(ctx, proposer)
+            return SlotOutcome(
+                slot=ctx.slot,
+                mode=MODE_FALLBACK,
+                block=block,
+                result=result,
+                proposer=proposer,
+                winning_submission=None,
+                delivering_relays=(),
+                speculative_ctx=fork,
+            )
+
+        self._enforce_commitment(best, ctx)
+        return SlotOutcome(
+            slot=ctx.slot,
+            mode=MODE_EPBS,
+            block=best.block,
+            result=best.result,
+            proposer=proposer,
+            winning_submission=best,
+            delivering_relays=(),
+            speculative_ctx=best.speculative_ctx,
+        )
+
+    @staticmethod
+    def _select(
+        submissions: list[BuilderSubmission],
+    ) -> BuilderSubmission | None:
+        """The protocol picks the highest committed bid, deterministically."""
+        if not submissions:
+            return None
+        return max(
+            submissions,
+            key=lambda s: (s.claimed_value_wei, s.block.block_hash),
+        )
+
+    def _enforce_commitment(
+        self, submission: BuilderSubmission, ctx: SlotContext
+    ) -> None:
+        """Settle any bid shortfall from the builder's collateral.
+
+        With the commitment enforced in-protocol, the proposer receives
+        exactly the committed value — the property that removes Table 4's
+        delivered-vs-promised gap.
+        """
+        shortfall = submission.claimed_value_wei - submission.payment_wei
+        if shortfall <= 0:
+            return
+        builder = self.builders[submission.builder_name]
+        state = submission.speculative_ctx.state
+        available = state.balance_of(builder.address)
+        settled = min(shortfall, available)
+        if settled > 0:
+            state.transfer(
+                builder.address,
+                submission.proposer.fee_recipient,
+                settled,
+            )
+            submission.payment_wei += settled

@@ -1,0 +1,102 @@
+"""The Flashbots relay data API.
+
+Every relay (MEV Boost forks and Blocknative's Dreamboat alike) exposes the
+same data endpoints; the paper crawls three of them per relay: delivered
+payloads, builder block submissions, and validator registrations.  This
+module is the storage + query layer behind those endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import Address, BLSPubkey, Hash, Wei
+
+
+@dataclass(frozen=True)
+class ValidatorRegistration:
+    """One validator subscribed to a relay (``/validators`` endpoint)."""
+
+    relay: str
+    validator_pubkey: BLSPubkey
+    validator_index: int
+    fee_recipient: Address
+    registered_slot: int
+
+
+@dataclass(frozen=True)
+class BuilderSubmissionRecord:
+    """One builder block submission (``builder_blocks_received``)."""
+
+    relay: str
+    slot: int
+    block_number: int
+    block_hash: Hash
+    builder_pubkey: BLSPubkey
+    value_claimed_wei: Wei
+    accepted: bool
+    rejection_reason: str = ""
+
+
+@dataclass(frozen=True)
+class DeliveredPayload:
+    """One payload handed to a proposer (``proposer_payload_delivered``)."""
+
+    relay: str
+    slot: int
+    block_number: int
+    block_hash: Hash
+    builder_pubkey: BLSPubkey
+    proposer_pubkey: BLSPubkey
+    proposer_fee_recipient: Address
+    value_claimed_wei: Wei
+
+
+class RelayDataStore:
+    """Append-only store behind one relay's data API."""
+
+    def __init__(self, relay_name: str) -> None:
+        self.relay_name = relay_name
+        self._registrations: list[ValidatorRegistration] = []
+        self._registered_pubkeys: set[BLSPubkey] = set()
+        self._submissions: list[BuilderSubmissionRecord] = []
+        self._payloads: list[DeliveredPayload] = []
+
+    # -- writes (called by the relay) -----------------------------------
+
+    def record_registration(self, registration: ValidatorRegistration) -> None:
+        if registration.validator_pubkey in self._registered_pubkeys:
+            return  # re-registration refreshes, not duplicates
+        self._registered_pubkeys.add(registration.validator_pubkey)
+        self._registrations.append(registration)
+
+    def record_submission(self, record: BuilderSubmissionRecord) -> None:
+        self._submissions.append(record)
+
+    def record_delivery(self, payload: DeliveredPayload) -> None:
+        self._payloads.append(payload)
+
+    # -- reads (the endpoints the paper crawls) ---------------------------
+
+    def get_validator_registrations(self) -> list[ValidatorRegistration]:
+        return list(self._registrations)
+
+    def get_builder_blocks_received(
+        self, slot: int | None = None
+    ) -> list[BuilderSubmissionRecord]:
+        if slot is None:
+            return list(self._submissions)
+        return [record for record in self._submissions if record.slot == slot]
+
+    def get_payloads_delivered(
+        self, slot: int | None = None
+    ) -> list[DeliveredPayload]:
+        if slot is None:
+            return list(self._payloads)
+        return [payload for payload in self._payloads if payload.slot == slot]
+
+    def total_entries(self) -> int:
+        """All API rows — the relay-data entry count of Table 1."""
+        return (
+            len(self._registrations) + len(self._submissions) + len(self._payloads)
+        )

@@ -1,0 +1,93 @@
+"""A small copy-on-write mapping used for speculative execution.
+
+Builders fork the whole protocol state once per candidate transaction and
+per candidate block; a full copy would dominate simulation time.  ``CowDict``
+keeps writes in a local layer and falls back to the parent for reads, with
+O(touched keys) forks and commits.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_TOMBSTONE = object()
+
+
+class CowDict(Generic[K, V]):
+    """Mapping with copy-on-write forking and explicit commit."""
+
+    def __init__(self, parent: Optional["CowDict[K, V]"] = None) -> None:
+        self._parent = parent
+        self._local: dict[K, object] = {}
+
+    # -- mapping protocol ------------------------------------------------
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        node: Optional[CowDict[K, V]] = self
+        while node is not None:
+            if key in node._local:
+                value = node._local[key]
+                return default if value is _TOMBSTONE else value  # type: ignore[return-value]
+            node = node._parent
+        return default
+
+    def __getitem__(self, key: K) -> V:
+        sentinel = object()
+        value = self.get(key, sentinel)  # type: ignore[arg-type]
+        if value is sentinel:
+            raise KeyError(key)
+        return value  # type: ignore[return-value]
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self._local[key] = value
+
+    def __delitem__(self, key: K) -> None:
+        if key not in self:
+            raise KeyError(key)
+        self._local[key] = _TOMBSTONE
+
+    def __contains__(self, key: K) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel  # type: ignore[arg-type]
+
+    def keys(self) -> Iterator[K]:
+        """All live keys, walking the full parent chain (O(total keys))."""
+        deleted: set[K] = set()
+        seen: set[K] = set()
+        node: Optional[CowDict[K, V]] = self
+        while node is not None:
+            for key, value in node._local.items():
+                if key in seen or key in deleted:
+                    continue
+                if value is _TOMBSTONE:
+                    deleted.add(key)
+                else:
+                    seen.add(key)
+                    yield key
+            node = node._parent
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        for key in self.keys():
+            yield key, self[key]
+
+    def __iter__(self) -> Iterator[K]:
+        return self.keys()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- forking -----------------------------------------------------------
+
+    def fork(self) -> "CowDict[K, V]":
+        """Create a child layer; reads fall through, writes stay local."""
+        return CowDict(parent=self)
+
+    def commit(self) -> None:
+        """Merge this layer's writes (including deletions) into the parent."""
+        if self._parent is None:
+            raise ValueError("cannot commit a root CowDict")
+        self._parent._local.update(self._local)
+        self._local.clear()

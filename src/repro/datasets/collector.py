@@ -1,0 +1,171 @@
+"""The study-dataset collector.
+
+Walks a finished world the way the paper's pipeline walked its raw data:
+chain blocks joined with beacon records, relay data-API crawls, mempool
+observations, MEV label sources, and OFAC screening.  The resulting
+:class:`StudyDataset` is the only thing the analysis package reads.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from ..beacon.chain import BeaconChain
+from ..chain.chain import Chain
+from ..chain.transaction import EthTransfer
+from ..core.relay import Relay
+from ..core.relay_api import DeliveredPayload
+from ..errors import DataError
+from ..mev.labels import MevDataset
+from ..sanctions.ofac import SanctionsList
+from ..sanctions.screening import SanctionScreener
+from ..types import Hash, Wei
+from .records import BlockObservation, DatasetInventory
+
+
+@dataclass
+class StudyDataset:
+    """Everything the measurement pipeline consumes."""
+
+    blocks: list[BlockObservation]
+    mev: MevDataset
+    relays: dict[str, Relay]
+    sanctions: SanctionsList
+    inventory: DatasetInventory
+    # Relay policy metadata for the censorship analyses (Table 3).
+    compliant_relays: frozenset[str] = frozenset()
+    _by_number: dict[int, BlockObservation] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._by_number:
+            self._by_number = {obs.number: obs for obs in self.blocks}
+
+    def block(self, number: int) -> BlockObservation:
+        try:
+            return self._by_number[number]
+        except KeyError:
+            raise DataError(f"no observation for block {number}") from None
+
+    def pbs_blocks(self) -> list[BlockObservation]:
+        return [obs for obs in self.blocks if obs.is_pbs]
+
+    def non_pbs_blocks(self) -> list[BlockObservation]:
+        return [obs for obs in self.blocks if not obs.is_pbs]
+
+    def dates(self) -> list[datetime.date]:
+        return sorted({obs.date for obs in self.blocks})
+
+
+def _detect_builder_payment(block, proposer_fee_recipient) -> Wei:
+    """The PBS payment convention: last tx pays the proposer's recipient."""
+    last_tx = block.last_transaction
+    if last_tx is None or last_tx.sender != block.fee_recipient:
+        return 0
+    return sum(
+        action.value_wei
+        for action in last_tx.actions
+        if isinstance(action, EthTransfer)
+        and action.recipient == proposer_fee_recipient
+    )
+
+
+def collect_study_dataset(world) -> StudyDataset:
+    """Crawl a finished :class:`~repro.simulation.world.World`."""
+    chain: Chain = world.chain
+    beacon: BeaconChain = world.beacon
+
+    # Relay crawl: delivered payloads indexed by block hash.
+    deliveries_by_hash: dict[Hash, list[DeliveredPayload]] = {}
+    relay_entries = 0
+    for relay in world.relays.values():
+        relay_entries += relay.data.total_entries()
+        for payload in relay.data.get_payloads_delivered():
+            deliveries_by_hash.setdefault(payload.block_hash, []).append(payload)
+
+    screener = SanctionScreener(world.sanctions, world.defi.tokens)
+    mev = MevDataset()
+
+    observations: list[BlockObservation] = []
+    for record in beacon.proposed():
+        block = chain.block_by_hash(record.execution_block_hash)
+        result = chain.execution_result(block.block_hash)
+        proposer = world.validators.by_index(record.proposer_index)
+
+        mev.ingest_block(block, result.receipts, world.oracle)
+        sanctioned = tuple(
+            screener.screen_block(block, result.receipts, result.traces, record.date)
+        )
+
+        block_time = float(block.header.timestamp)
+        private_hashes = frozenset(
+            tx.tx_hash
+            for tx in block.transactions
+            if not world.observations.is_public(tx.tx_hash, before=block_time)
+        )
+
+        contribution: dict[Hash, Wei] = {}
+        for outcome in result.outcomes:
+            value = outcome.priority_fee_wei + outcome.direct_tip_wei
+            if value:
+                contribution[outcome.receipt.tx_hash] = value
+
+        payloads = deliveries_by_hash.get(block.block_hash, [])
+        claimed = {payload.relay: payload.value_claimed_wei for payload in payloads}
+        builder_pubkey = payloads[0].builder_pubkey if payloads else None
+
+        observations.append(
+            BlockObservation(
+                number=block.number,
+                block_hash=block.block_hash,
+                slot=record.slot,
+                date=record.date,
+                proposer_index=proposer.index,
+                proposer_entity=proposer.entity,
+                proposer_fee_recipient=proposer.fee_recipient,
+                fee_recipient=block.fee_recipient,
+                extra_data=block.header.extra_data,
+                gas_used=block.header.gas_used,
+                gas_limit=block.header.gas_limit,
+                base_fee_per_gas=block.header.base_fee_per_gas,
+                burned_wei=result.burned_wei,
+                priority_fees_wei=result.priority_fees_wei,
+                direct_transfers_wei=result.direct_transfers_wei,
+                tx_count=len(block.transactions),
+                private_tx_count=len(private_hashes),
+                builder_payment_wei=_detect_builder_payment(
+                    block, proposer.fee_recipient
+                ),
+                claimed_by_relay=claimed,
+                builder_pubkey=builder_pubkey,
+                tx_value_contribution=contribution,
+                private_tx_hashes=private_hashes,
+                sanctioned_tx_hashes=sanctioned,
+            )
+        )
+
+    inventory = DatasetInventory(
+        blocks=len(chain),
+        transactions=chain.total_transactions(),
+        logs=chain.total_logs(),
+        traces=chain.total_trace_frames(),
+        mev_labels_by_source=mev.per_source_counts(),
+        mev_labels_union=len(mev),
+        mempool_arrival_times=world.observations.total_arrival_records(),
+        relay_data_entries=relay_entries,
+        ofac_addresses=len(world.sanctions),
+    )
+
+    compliant = frozenset(
+        name
+        for name, relay in world.relays.items()
+        if relay.policy.is_censoring
+    )
+    return StudyDataset(
+        blocks=observations,
+        mev=mev,
+        relays=dict(world.relays),
+        sanctions=world.sanctions,
+        inventory=inventory,
+        compliant_relays=compliant,
+    )

@@ -1,0 +1,114 @@
+"""Record types of the collected study dataset."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from ..types import Address, BLSPubkey, Hash, Wei
+
+
+@dataclass
+class BlockObservation:
+    """Everything the pipeline knows about one block after joining sources.
+
+    Joins execution data (values, fees, gas), consensus data (proposer),
+    relay data (claims, delivering relays), mempool observations (private
+    transaction classification), MEV labels and sanction screening — the
+    per-block row the paper's aggregate dataset publishes.
+    """
+
+    number: int
+    block_hash: Hash
+    slot: int
+    date: datetime.date
+    proposer_index: int
+    proposer_entity: str
+    proposer_fee_recipient: Address
+    fee_recipient: Address
+    extra_data: str
+    gas_used: int
+    gas_limit: int
+    base_fee_per_gas: Wei
+    burned_wei: Wei
+    priority_fees_wei: Wei
+    direct_transfers_wei: Wei
+    tx_count: int
+    private_tx_count: int
+    # The PBS payment convention: last-transaction transfer from the fee
+    # recipient to the proposer's fee recipient (0 when absent).
+    builder_payment_wei: Wei
+    # Relays that published this block in proposer_payload_delivered,
+    # with the value each claimed.
+    claimed_by_relay: dict[str, Wei] = field(default_factory=dict)
+    builder_pubkey: BLSPubkey | None = None
+    # Per-transaction share of the block's user-generated value
+    # (priority fee + direct tips), for MEV value attribution.
+    tx_value_contribution: dict[Hash, Wei] = field(default_factory=dict)
+    private_tx_hashes: frozenset[Hash] = frozenset()
+    sanctioned_tx_hashes: tuple[Hash, ...] = ()
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def relay_claimed(self) -> bool:
+        return bool(self.claimed_by_relay)
+
+    @property
+    def has_pbs_payment(self) -> bool:
+        return self.builder_payment_wei > 0
+
+    @property
+    def is_pbs(self) -> bool:
+        """The paper's PBS identification: relay-claimed OR payment rule."""
+        return self.relay_claimed or self.has_pbs_payment
+
+    @property
+    def block_value_wei(self) -> Wei:
+        """User-generated value: priority fees plus direct transfers."""
+        return self.priority_fees_wei + self.direct_transfers_wei
+
+    @property
+    def proposer_profit_wei(self) -> Wei:
+        """What the proposer earned from this block.
+
+        For PBS blocks with the payment convention, the builder's payment;
+        when the builder set the proposer as fee recipient (or the block is
+        non-PBS), the whole block value.
+        """
+        if self.fee_recipient == self.proposer_fee_recipient:
+            return self.block_value_wei
+        if self.has_pbs_payment:
+            return self.builder_payment_wei
+        return 0
+
+    @property
+    def builder_profit_wei(self) -> Wei:
+        """Block value minus the payment passed on (PBS blocks only)."""
+        if not self.is_pbs or self.fee_recipient == self.proposer_fee_recipient:
+            return 0
+        return self.block_value_wei - self.builder_payment_wei
+
+    @property
+    def delivered_value_wei(self) -> Wei:
+        """Value that actually reached the proposer (Table 4 'delivered')."""
+        return self.proposer_profit_wei
+
+    @property
+    def is_sanctioned(self) -> bool:
+        return bool(self.sanctioned_tx_hashes)
+
+
+@dataclass(frozen=True)
+class DatasetInventory:
+    """Entry counts per collected dataset — the rows of Table 1."""
+
+    blocks: int
+    transactions: int
+    logs: int
+    traces: int
+    mev_labels_by_source: dict[str, int]
+    mev_labels_union: int
+    mempool_arrival_times: int
+    relay_data_entries: int
+    ofac_addresses: int

@@ -1,0 +1,114 @@
+"""The protocol registry wiring DeFi into the execution engine.
+
+Implements the :class:`~repro.chain.execution.ProtocolRegistry` interface:
+the engine hands protocol actions (token transfers, swaps, liquidations)
+here, and gets back event logs plus trace frames.  Forks fork every
+component together so speculative blocks see a consistent DeFi state.
+"""
+
+from __future__ import annotations
+
+from ..chain.receipts import Log
+from ..chain.state import WorldState
+from ..chain.traces import CallFrame
+from ..chain.transaction import LiquidatePosition, SwapExact, TokenTransfer
+from ..errors import DefiError
+from ..types import Address
+from .amm import AmmExchange
+from .lending import LendingMarket
+from .oracle import PriceOracle
+from .tokens import TokenRegistry
+
+
+class DefiProtocols:
+    """Token registry + AMM + lending markets behind one engine-facing API."""
+
+    def __init__(
+        self,
+        tokens: TokenRegistry,
+        amm: AmmExchange,
+        markets: dict[str, LendingMarket],
+        oracle: PriceOracle,
+        parent: "DefiProtocols | None" = None,
+    ) -> None:
+        self.tokens = tokens
+        self.amm = amm
+        self.markets = markets
+        self.oracle = oracle  # read-only within a block; never forked
+        self._parent = parent
+
+    @classmethod
+    def create(cls, oracle: PriceOracle) -> "DefiProtocols":
+        """Create an empty root registry around an oracle."""
+        tokens = TokenRegistry()
+        amm = AmmExchange(tokens)
+        return cls(tokens=tokens, amm=amm, markets={}, oracle=oracle)
+
+    def add_market(self, market: LendingMarket) -> None:
+        if market.market_id in self.markets:
+            raise DefiError(f"market {market.market_id} already registered")
+        self.markets[market.market_id] = market
+
+    # -- engine interface --------------------------------------------------
+
+    def execute_action(
+        self,
+        action: object,
+        sender: Address,
+        state: WorldState,
+    ) -> tuple[list[Log], list[CallFrame]]:
+        """Apply one protocol action; returns (logs, trace frames).
+
+        Token movements do not move ETH, so no trace frames are produced —
+        matching mainnet, where sanctioned ERC-20 activity is visible only
+        in logs (which is why the paper scans both logs and traces).
+        """
+        if isinstance(action, TokenTransfer):
+            log = self.tokens.transfer(
+                action.token, sender, action.recipient, action.amount
+            )
+            return [log], []
+        if isinstance(action, SwapExact):
+            _, logs = self.amm.swap(
+                action.pool_id,
+                sender,
+                action.token_in,
+                action.amount_in,
+                action.min_amount_out,
+                self.tokens,
+            )
+            return logs, []
+        if isinstance(action, LiquidatePosition):
+            market = self.markets.get(action.market_id)
+            if market is None:
+                raise DefiError(f"unknown lending market {action.market_id}")
+            _, logs = market.liquidate(
+                sender, action.borrower, self.oracle, self.tokens
+            )
+            return logs, []
+        raise DefiError(f"no protocol can execute {type(action).__name__}")
+
+    # -- forking -----------------------------------------------------------
+
+    def fork(self) -> "DefiProtocols":
+        tokens = self.tokens.fork()
+        amm = self.amm.fork(tokens)
+        markets = {
+            market_id: market.fork(tokens)
+            for market_id, market in self.markets.items()
+        }
+        return DefiProtocols(
+            tokens=tokens,
+            amm=amm,
+            markets=markets,
+            oracle=self.oracle,
+            parent=self,
+        )
+
+    def commit(self) -> None:
+        if self._parent is None:
+            raise DefiError("cannot commit a root DefiProtocols")
+        self.tokens.commit()
+        self.amm.commit()
+        for market in self.markets.values():
+            market.commit()

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single except clause while still
+being able to discriminate on subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid simulation or analysis configuration."""
+
+
+class ChainError(ReproError):
+    """Execution-layer failures (unknown blocks, broken invariants)."""
+
+
+class ExecutionError(ChainError):
+    """A transaction could not be executed."""
+
+
+class InsufficientBalanceError(ExecutionError):
+    """An account tried to spend more ETH or tokens than it holds."""
+
+
+class NonceError(ExecutionError):
+    """A transaction's nonce does not match the sender's account nonce."""
+
+
+class BeaconError(ReproError):
+    """Consensus-layer failures (bad slots, unknown validators)."""
+
+
+class DefiError(ReproError):
+    """DeFi substrate failures (pools, lending, oracle)."""
+
+
+class SwapError(DefiError):
+    """A swap violated its own constraints (e.g. min-out not met)."""
+
+
+class LiquidationError(DefiError):
+    """An invalid liquidation attempt (healthy or unknown position)."""
+
+
+class NetworkError(ReproError):
+    """P2P/mempool substrate failures."""
+
+
+class PBSError(ReproError):
+    """PBS-layer failures (builders, relays, MEV-Boost)."""
+
+
+class RelayError(PBSError):
+    """A relay rejected or failed to serve a request."""
+
+
+class BuilderRejectedError(RelayError):
+    """A builder submission was rejected by a relay's access policy."""
+
+
+class MissingPayloadError(RelayError):
+    """A signed header had no matching payload held in escrow."""
+
+
+class DataError(ReproError):
+    """Dataset collection / storage failures."""
+
+
+class AnalysisError(ReproError):
+    """Measurement-pipeline failures (empty inputs, bad parameters)."""

@@ -1,0 +1,57 @@
+"""Liquidation planning.
+
+Scans lending markets for positions whose health factor dropped below one
+and estimates the liquidation bonus in ETH — the searcher's gross profit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..defi.lending import LendingMarket
+from ..defi.oracle import PriceOracle
+from ..defi.tokens import TokenRegistry
+from ..types import Address, ether
+
+
+@dataclass(frozen=True)
+class LiquidationPlan:
+    """One liquidatable position and its expected bonus."""
+
+    market_id: str
+    borrower: Address
+    debt_token: str
+    debt_amount: int
+    expected_bonus_wei: int
+
+
+def plan_liquidations(
+    markets: dict[str, LendingMarket],
+    oracle: PriceOracle,
+    tokens: TokenRegistry,
+    min_bonus_wei: int = 0,
+) -> list[LiquidationPlan]:
+    """All currently liquidatable positions across markets, best bonus first."""
+    plans: list[LiquidationPlan] = []
+    for market_id in sorted(markets):
+        market = markets[market_id]
+        for position in market.liquidatable(oracle):
+            debt_value_eth = oracle.value_in_eth(
+                position.debt_token,
+                position.debt_amount,
+                decimals=tokens.token(position.debt_token).decimals,
+            )
+            bonus_wei = ether(debt_value_eth * market.liquidation_bonus)
+            if bonus_wei <= min_bonus_wei:
+                continue
+            plans.append(
+                LiquidationPlan(
+                    market_id=market_id,
+                    borrower=position.borrower,
+                    debt_token=position.debt_token,
+                    debt_amount=position.debt_amount,
+                    expected_bonus_wei=bonus_wei,
+                )
+            )
+    plans.sort(key=lambda plan: plan.expected_bonus_wei, reverse=True)
+    return plans

@@ -1,0 +1,125 @@
+"""Sandwich-attack planning.
+
+Given a victim swap pending in the mempool, size a front-run so the victim
+still clears their slippage limit, then compute the back-run proceeds — all
+on a pure pool snapshot, so planning never touches live state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..defi.amm import LiquidityPool
+from ..errors import SwapError
+
+# Candidate front-run sizes as fractions of the victim's input; the planner
+# simulates each and keeps the most profitable one that still lets the
+# victim clear their min-out.
+_FRONT_RUN_FRACTIONS = (
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    1.0,
+    1.5,
+    2.0,
+    3.0,
+    5.0,
+    8.0,
+)
+
+
+@dataclass(frozen=True)
+class SandwichPlan:
+    """A fully sized sandwich: front-run input and expected leg outcomes."""
+
+    pool_id: str
+    token_in: str
+    token_out: str
+    front_amount_in: int
+    front_amount_out: int
+    victim_amount_out: int
+    back_amount_out: int
+
+    @property
+    def profit(self) -> int:
+        """Attacker profit in units of ``token_in`` (both legs round-trip)."""
+        return self.back_amount_out - self.front_amount_in
+
+
+def _simulate_sandwich(
+    pool: LiquidityPool,
+    front_in: int,
+    victim_in: int,
+    token_in: str,
+) -> tuple[int, int, int]:
+    """Outcome of front-run, victim, back-run on a snapshot; pure arithmetic."""
+    token_out = pool.other_token(token_in)
+
+    front_out = pool.quote_out(token_in, front_in)
+    reserve_in, reserve_out = pool.reserves_for(token_in)
+    pool_after_front = _with_reserves(
+        pool, token_in, reserve_in + front_in, reserve_out - front_out
+    )
+
+    victim_out = pool_after_front.quote_out(token_in, victim_in)
+    reserve_in2, reserve_out2 = pool_after_front.reserves_for(token_in)
+    pool_after_victim = _with_reserves(
+        pool,
+        token_in,
+        reserve_in2 + victim_in,
+        reserve_out2 - victim_out,
+    )
+
+    back_out = pool_after_victim.quote_out(token_out, front_out)
+    return front_out, victim_out, back_out
+
+
+def _with_reserves(
+    pool: LiquidityPool, token_in: str, reserve_in: int, reserve_out: int
+) -> LiquidityPool:
+    if token_in == pool.spec.token0:
+        return LiquidityPool(spec=pool.spec, reserve0=reserve_in, reserve1=reserve_out)
+    return LiquidityPool(spec=pool.spec, reserve0=reserve_out, reserve1=reserve_in)
+
+
+def plan_sandwich(
+    pool: LiquidityPool,
+    victim_amount_in: int,
+    victim_min_out: int,
+    token_in: str,
+    min_profit: int = 0,
+) -> SandwichPlan | None:
+    """Size the most profitable sandwich that keeps the victim above min-out.
+
+    Returns None when no candidate front-run size yields more than
+    ``min_profit`` — e.g. the victim left no slippage slack.
+    """
+    if victim_amount_in <= 0:
+        return None
+    best: SandwichPlan | None = None
+    token_out = pool.other_token(token_in)
+    for fraction in _FRONT_RUN_FRACTIONS:
+        front_in = int(victim_amount_in * fraction)
+        if front_in <= 0:
+            continue
+        try:
+            front_out, victim_out, back_out = _simulate_sandwich(
+                pool, front_in, victim_amount_in, token_in
+            )
+        except SwapError:
+            continue
+        if victim_out < victim_min_out:
+            continue  # victim would revert; sandwich loses its filling
+        plan = SandwichPlan(
+            pool_id=pool.pool_id,
+            token_in=token_in,
+            token_out=token_out,
+            front_amount_in=front_in,
+            front_amount_out=front_out,
+            victim_amount_out=victim_out,
+            back_amount_out=back_out,
+        )
+        if plan.profit > min_profit and (best is None or plan.profit > best.profit):
+            best = plan
+    return best

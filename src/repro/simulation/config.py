@@ -1,0 +1,125 @@
+"""Simulation configuration.
+
+One dataclass controls world size (days, blocks per day, population sizes)
+and all behavioural rates.  The full-study benchmark scenario uses the
+defaults with ``num_days=198``; tests shrink the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import STUDY_NUM_DAYS
+from ..errors import ConfigError
+
+
+@dataclass
+class SimulationConfig:
+    """All knobs of one simulated world."""
+
+    seed: int = 7
+    num_days: int = STUDY_NUM_DAYS
+    blocks_per_day: int = 40
+    missed_slot_rate: float = 0.008
+
+    # Populations.
+    num_validators: int = 1200
+    num_users: int = 600
+    num_long_tail_builders: int = 116  # named roster (17) -> 133 total
+    network_nodes: int = 48
+
+    # Transaction workload (per slot).
+    mean_user_txs_per_slot: float = 55.0
+    swap_tx_share: float = 0.22
+    token_tx_share: float = 0.18
+    private_user_tx_share: float = 0.05
+    # Extra gas drawn per tx so blocks reach mainnet-like gas totals.
+    extra_gas_mean: float = 320_000.0
+    extra_gas_sigma: float = 0.6
+
+    # Sanctioned activity: probability a given slot's workload includes a
+    # transaction involving a sanctioned address.
+    sanctioned_tx_rate: float = 0.05
+
+    # MEV workload.
+    victim_swap_rate: float = 0.32  # share of swaps big enough to sandwich
+    num_lending_positions: int = 60
+    lending_refill_per_day: float = -1.0  # auto: ~0.022 per block
+    public_searcher_skill: float = 0.35
+
+    # Incidents & events (all reproduce paper findings; disable for ablation).
+    enable_manifold_incident: bool = True
+    enable_eden_mispromise: bool = True
+    enable_timestamp_bug: bool = True
+    enable_binance_ankr_flow: bool = True
+    enable_beaverbuild_loss: bool = True
+
+    # Scale factor applied to the scripted Eden mispromise claim (ETH).
+    eden_mispromise_claim_eth: float = -1.0  # auto-scale to world size
+    eden_mispromise_paid_eth: float = 0.16
+
+    # Run the enshrined-PBS counterfactual (no relays, protocol-enforced
+    # bids) instead of the historical relay-based scheme.
+    use_enshrined_pbs: bool = False
+
+    # MEV-Boost min-bid in ETH applied to every PBS validator (0 = off).
+    # A post-study censorship-resistance mitigation; see the ablations.
+    min_bid_eth: float = 0.0
+
+    # How many builders compete per slot (top order-flow weighted sample).
+    max_active_builders_per_slot: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_days <= 0:
+            raise ConfigError("num_days must be positive")
+        if self.num_days > STUDY_NUM_DAYS:
+            raise ConfigError(
+                f"num_days cannot exceed the study window ({STUDY_NUM_DAYS})"
+            )
+        if self.blocks_per_day <= 0:
+            raise ConfigError("blocks_per_day must be positive")
+        if self.num_validators < 10:
+            raise ConfigError("need at least 10 validators")
+        if not 0.0 <= self.missed_slot_rate < 1.0:
+            raise ConfigError("missed_slot_rate must be in [0, 1)")
+        for name in (
+            "swap_tx_share",
+            "token_tx_share",
+            "private_user_tx_share",
+            "sanctioned_tx_rate",
+            "victim_swap_rate",
+            "public_searcher_skill",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.swap_tx_share + self.token_tx_share > 1.0:
+            raise ConfigError("swap and token shares exceed the whole workload")
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_days * self.blocks_per_day
+
+    @property
+    def seconds_per_simulated_slot(self) -> float:
+        """Wall-clock seconds between simulated block opportunities."""
+        return 86_400.0 / self.blocks_per_day
+
+
+def small_test_config(**overrides) -> SimulationConfig:
+    """A fast world for unit/integration tests (seconds, not minutes)."""
+    defaults = dict(
+        seed=7,
+        num_days=12,
+        blocks_per_day=8,
+        num_validators=120,
+        num_users=120,
+        num_long_tail_builders=10,
+        network_nodes=24,
+        mean_user_txs_per_slot=46.0,
+        num_lending_positions=30,
+        lending_refill_per_day=1.0,
+        max_active_builders_per_slot=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)

@@ -1,0 +1,902 @@
+"""The world simulator: a slot-by-slot post-merge Ethereum with PBS.
+
+``build_world(config)`` wires the whole landscape; ``World.run()`` advances
+it through the study window, producing the raw material the paper's
+pipeline measures: a canonical chain with receipts and traces, beacon
+records, relay data-API stores, mempool observations, and the sanctions
+timeline.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..beacon.chain import BeaconBlockRecord, BeaconChain
+from ..beacon.rewards import RewardLedger
+from ..beacon.schedule import ProposerSchedule
+from ..beacon.validator import Validator, ValidatorRegistry
+from ..chain.chain import Chain
+from ..chain.execution import ExecutionContext, ExecutionEngine
+from ..chain.state import WorldState
+from ..chain.transaction import (
+    EthTransfer,
+    ORIGIN_PRIVATE,
+    ORIGIN_PUBLIC,
+    SwapExact,
+    TokenTransfer,
+    Transaction,
+    TransactionFactory,
+)
+from ..constants import (
+    MAX_BLOCK_GAS,
+    MERGE_BLOCK_NUMBER,
+    MERGE_DATE,
+    MERGE_SLOT,
+)
+from ..core.auction import SlotAuction, SlotOutcome
+from ..core.builder import BlockBuilder
+from ..core.context import SlotContext
+from ..core.proposer import LocalBlockBuilder
+from ..core.relay import Relay
+from ..defi.registry import DefiProtocols
+from ..mev.bundles import Bundle
+from ..mev.liquidation import plan_liquidations
+from ..mev.arbitrage import find_arbitrage_cycles, plan_cycle_arbitrage
+from ..mev.searcher import Searcher, SlotView
+from ..mempool.network import P2PNetwork
+from ..mempool.observer import ObservationStore
+from ..mempool.pool import SharedMempool
+from ..mempool.private import PrivateOrderFlow
+from ..sanctions.ofac import SanctionsList, build_ofac_timeline
+from ..types import Address, derive_address, ether, gwei
+from . import calibration
+from .config import SimulationConfig
+from .entities import (
+    build_builders,
+    build_defi,
+    build_relays,
+    build_searchers,
+    build_validators,
+    long_tail_start_day,
+)
+from .events import Timeline, default_timeline
+
+_SECONDS_PER_DAY = 86_400
+_MEMPOOL_TTL_SECONDS = 0.75 * _SECONDS_PER_DAY
+_GENESIS_TIME = 1_663_224_179  # merge timestamp (2022-09-15 06:42:59 UTC)
+
+
+@dataclass
+class SlotRecord:
+    """Ground-truth record of one proposed slot (tests and examples only).
+
+    The measurement pipeline never reads these; it works off the collected
+    datasets exactly as the paper does.
+    """
+
+    slot: int
+    day: int
+    block_number: int
+    mode: str
+    winning_builder: str | None
+    delivering_relays: tuple[str, ...]
+    payment_wei: int
+    claimed_wei: int
+
+
+class World:
+    """A fully wired simulated world; call :meth:`run` to advance it."""
+
+    def __init__(self, config: SimulationConfig, timeline: Timeline | None = None):
+        self.config = config
+        self.timeline = timeline or default_timeline()
+        seed_seq = np.random.SeedSequence(config.seed)
+        (
+            seq_network,
+            seq_entities,
+            seq_oracle,
+            seq_txgen,
+            seq_searchers,
+            seq_auction,
+            seq_lending,
+        ) = seed_seq.spawn(7)
+        self._rng_oracle = np.random.default_rng(seq_oracle)
+        self._rng_txgen = np.random.default_rng(seq_txgen)
+        self._rng_searchers = np.random.default_rng(seq_searchers)
+        self._rng_auction = np.random.default_rng(seq_auction)
+        self._rng_lending = np.random.default_rng(seq_lending)
+        rng_network = np.random.default_rng(seq_network)
+        rng_entities = np.random.default_rng(seq_entities)
+
+        # Substrates.
+        self.network = P2PNetwork(rng_network, node_count=config.network_nodes)
+        self.mempool = SharedMempool(self.network, ttl_seconds=_MEMPOOL_TTL_SECONDS)
+        self.observations = ObservationStore.with_default_observers(self.network)
+        self.private_flow = PrivateOrderFlow()
+
+        self.defi: DefiProtocols = build_defi(config)
+        self.oracle = self.defi.oracle
+        self.state = WorldState()
+        self.engine = ExecutionEngine()
+        self.canonical_ctx = ExecutionContext(state=self.state, protocols=self.defi)
+        self.chain = Chain(first_block_number=MERGE_BLOCK_NUMBER)
+        self.tx_factory = TransactionFactory()
+
+        # Consensus layer.
+        self.validators: ValidatorRegistry
+        self.validators, self._profiles, self._adoption = build_validators(
+            config, rng_entities
+        )
+        self.schedule = ProposerSchedule(self.validators, seed=config.seed)
+        self.beacon = BeaconChain()
+        self.rewards = RewardLedger()
+
+        # PBS layer.
+        self.relays: dict[str, Relay] = build_relays(config, self.timeline)
+        self.builders: dict[str, BlockBuilder] = build_builders(
+            config, self.timeline, rng_entities, config.network_nodes
+        )
+        self.searchers: list[Searcher] = build_searchers(rng_entities)
+        self.local_builder = LocalBlockBuilder(
+            mempool_node=int(rng_entities.integers(0, config.network_nodes)),
+            # Hobbyist nodes snapshot the mempool early and miss the most
+            # recent quarter of arrivals (smaller, emptier non-PBS blocks).
+            snapshot_lead_seconds=0.25 * config.seconds_per_simulated_slot,
+        )
+        if config.use_enshrined_pbs:
+            from ..core.epbs import EnshrinedPBSAuction
+
+            self.auction = EnshrinedPBSAuction(self.builders, self.local_builder)
+        else:
+            self.auction = SlotAuction(
+                self.relays, self.builders, self.local_builder
+            )
+
+        # Sanctions.
+        self.sanctions: SanctionsList = build_ofac_timeline()
+        self._sanctioned_pool: list[Address] = [
+            entry.address for entry in self.sanctions.entries()
+        ]
+
+        # Populations.
+        self.users = [
+            derive_address("user", index) for index in range(config.num_users)
+        ]
+        self._binance_hot_wallet = derive_address("exchange", "binance-hot")
+        self._ankr_deposit = derive_address("exchange", "ankr-deposit")
+        self._borrower_counter = 0
+
+        # Ground truth for tests.
+        self.slot_records: list[SlotRecord] = []
+        self._registered_relays: set[tuple[int, str]] = set()
+        self._has_run = False
+
+        self._fund_accounts()
+        self._seed_lending_positions(config.num_lending_positions)
+
+        # Long-tail builder start days.
+        self._tail_names = sorted(
+            name for name in self.builders if name.startswith("builder-")
+        )
+        self._tail_start = {
+            name: long_tail_start_day(index, config.num_days)
+            for index, name in enumerate(self._tail_names)
+        }
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+
+    def _fund_accounts(self) -> None:
+        tokens = self.defi.tokens
+        for user in self.users:
+            self.state.mint(user, ether(40))
+            tokens.mint("WETH", user, 40 * 10**18)
+            tokens.mint("USDC", user, 50_000 * 10**6)
+            tokens.mint("DAI", user, 50_000 * 10**18)
+            tokens.mint("USDT", user, 20_000 * 10**6)
+            tokens.mint("WBTC", user, 2 * 10**8)
+            tokens.mint("ALT1", user, 800 * 10**18)
+            tokens.mint("ALT2", user, 3_000 * 10**18)
+            tokens.mint("TRON", user, 200_000 * 10**18)
+        for searcher in self.searchers:
+            self.state.mint(searcher.address, ether(2_000))
+            tokens.mint("WETH", searcher.address, 20_000 * 10**18)
+            tokens.mint("USDC", searcher.address, 10_000_000 * 10**6)
+            tokens.mint("DAI", searcher.address, 10_000_000 * 10**18)
+            tokens.mint("USDT", searcher.address, 5_000_000 * 10**6)
+            tokens.mint("WBTC", searcher.address, 200 * 10**8)
+        for builder in self.builders.values():
+            self.state.mint(builder.address, ether(4_000))
+        for address in self._sanctioned_pool:
+            self.state.mint(address, ether(300))
+            tokens.mint("USDC", address, 500_000 * 10**6)
+            tokens.mint("USDT", address, 300_000 * 10**6)
+            tokens.mint("DAI", address, 300_000 * 10**18)
+        self.state.mint(self._binance_hot_wallet, ether(50_000))
+        # A public keeper account used by non-PBS-era style mempool bots.
+        self._public_bot = derive_address("bot", "public-keeper")
+        self.state.mint(self._public_bot, ether(500))
+        tokens.mint("WETH", self._public_bot, 5_000 * 10**18)
+        tokens.mint("USDC", self._public_bot, 2_000_000 * 10**6)
+        tokens.mint("DAI", self._public_bot, 2_000_000 * 10**18)
+
+    def _top_up_users(self) -> None:
+        """Replenish user inventories daily (exchange withdrawals).
+
+        Without inflow, heavy sellers run out of WETH after a few weeks and
+        the victim-swap supply — and with it all MEV — dries up, which the
+        real market does not do.
+        """
+        tokens = self.defi.tokens
+        floor_weth = 20 * 10**18
+        for user in self.users:
+            held = tokens.balance_of("WETH", user)
+            if held < floor_weth:
+                tokens.mint("WETH", user, 40 * 10**18 - held)
+            if self.state.balance_of(user) < ether(10):
+                self.state.mint(user, ether(30))
+            if tokens.balance_of("USDC", user) < 10_000 * 10**6:
+                tokens.mint("USDC", user, 40_000 * 10**6)
+            if tokens.balance_of("DAI", user) < 10_000 * 10**18:
+                tokens.mint("DAI", user, 40_000 * 10**18)
+        for searcher in self.searchers:
+            # Professional searchers rebalance their gas/tip inventory.
+            if self.state.balance_of(searcher.address) < ether(500):
+                self.state.mint(searcher.address, ether(2_000))
+        if self.state.balance_of(self._public_bot) < ether(100):
+            self.state.mint(self._public_bot, ether(400))
+
+    def _seed_lending_positions(self, count: int) -> None:
+        for _ in range(count):
+            self._open_lending_position()
+
+    def _open_lending_position(self) -> None:
+        rng = self._rng_lending
+        market_id = "aave" if rng.random() < 0.6 else "compound"
+        market = self.defi.markets[market_id]
+        borrower = derive_address("borrower", self._borrower_counter)
+        self._borrower_counter += 1
+        collateral_token = str(rng.choice(["WBTC", "WETH", "ALT1"]))
+        debt_token = str(rng.choice(["USDC", "DAI"]))
+        collateral_value_eth = float(rng.uniform(4.0, 40.0))
+        decimals_c = self.defi.tokens.token(collateral_token).decimals
+        decimals_d = self.defi.tokens.token(debt_token).decimals
+        price_c = self.oracle.price_in_eth(collateral_token)
+        price_d = self.oracle.price_in_eth(debt_token)
+        collateral_amount = int(collateral_value_eth / price_c * 10**decimals_c)
+        # Health factor between ~1.02 and ~1.35 at opening.
+        target_health = float(rng.uniform(1.12, 1.55))
+        debt_value_eth = (
+            collateral_value_eth * market.liquidation_threshold / target_health
+        )
+        debt_amount = int(debt_value_eth / price_d * 10**decimals_d)
+        if collateral_amount <= 0 or debt_amount <= 0:
+            return
+        market.open_position(
+            borrower, collateral_token, collateral_amount, debt_token, debt_amount
+        )
+
+    # ------------------------------------------------------------------
+    # Daily updates
+    # ------------------------------------------------------------------
+
+    def _advance_day(self, day: int) -> None:
+        date = MERGE_DATE + datetime.timedelta(days=day)
+        if day > 0:
+            self.oracle.advance_day(
+                self._rng_oracle,
+                volatility=0.028,
+                volatility_multipliers=self.timeline.oracle_vol_multipliers(day),
+            )
+            if day == self.timeline.usdc_depeg_day:
+                self.oracle.set_price("USDC", 0.88)
+            if day == self.timeline.usdc_depeg_day + 2:
+                self.oracle.set_price("USDC", 0.99)
+        for relay in self.relays.values():
+            relay.refresh_sanctions_view(self.sanctions, date)
+        self._top_up_users()
+        refill = self.config.lending_refill_per_day
+        if refill < 0:
+            refill = 0.022 * self.config.blocks_per_day
+        whole = int(refill)
+        for _ in range(whole):
+            self._open_lending_position()
+        if self._rng_lending.random() < refill - whole:
+            self._open_lending_position()
+        # Refresh validator MEV-Boost configurations.
+        for validator in self.validators:
+            adopted = self._adoption[validator.index] <= day
+            if not adopted:
+                validator.disable_mev_boost()
+                continue
+            menu = calibration.relay_menu(self._profiles[validator.index], day)
+            if menu:
+                validator.configure_mev_boost(menu)
+                validator.min_bid_wei = ether(self.config.min_bid_eth)
+            else:
+                validator.disable_mev_boost()
+        # Builder relay routing and activity for the day.
+        self._day_flow_weights = {
+            name: calibration.builder_flow_weight(name, day)
+            for name in self.builders
+            if not name.startswith("builder-")
+        }
+        for name in self._tail_names:
+            live = self._tail_start[name] <= day
+            self._day_flow_weights[name] = 0.001 if live else 0.0
+        for name, builder in self.builders.items():
+            if name.startswith("builder-"):
+                pool = [
+                    relay
+                    for relay in calibration.LONG_TAIL_RELAY_POOL
+                    if calibration.relay_is_live(relay, day)
+                ]
+                builder.relays = tuple(pool)
+            else:
+                weights = calibration.builder_relay_weights(name, day)
+                builder.relays = tuple(sorted(weights))
+                self._relay_route_weights = getattr(self, "_relay_route_weights", {})
+                self._relay_route_weights[name] = weights
+
+    # ------------------------------------------------------------------
+    # Transaction generation
+    # ------------------------------------------------------------------
+
+    def _priority_fee(self, rng: np.random.Generator) -> int:
+        return int(gwei(1) * float(rng.lognormal(mean=0.7, sigma=0.9)))
+
+    def _willingness_to_pay(self, day: int, rng: np.random.Generator) -> int:
+        """Absolute per-gas willingness to pay, in wei.
+
+        Demand is elastic in the base fee: users whose willingness falls
+        below the current base fee simply do not transact, which is what
+        stabilizes EIP-1559 around the gas target.
+        """
+        reference = gwei(20) * calibration.tx_volume_multiplier(day)
+        return int(reference * float(rng.lognormal(mean=0.0, sigma=0.8)))
+
+    def _max_fee(self, base_fee: int, rng: np.random.Generator, priority: int) -> int:
+        headroom = float(rng.uniform(1.05, 2.5))
+        return max(int(base_fee * headroom) + priority, priority)
+
+    def _extra_gas(self, rng: np.random.Generator) -> int:
+        value = float(
+            rng.lognormal(
+                mean=np.log(self.config.extra_gas_mean),
+                sigma=self.config.extra_gas_sigma,
+            )
+        )
+        return int(min(value, 2_500_000))
+
+    def _generate_user_tx(
+        self, slot: int, day: int, base_fee: int, sophistication: float
+    ) -> tuple[Transaction, bool] | None:
+        """One user transaction, or None if the sender is priced out."""
+        rng = self._rng_txgen
+        sender = self.users[int(rng.integers(0, len(self.users)))]
+        roll = float(rng.random())
+        wtp = self._willingness_to_pay(day, rng)
+        if wtp < base_fee:
+            return None  # demand destruction under a high base fee
+        priority = min(self._priority_fee(rng), wtp)
+        max_fee = wtp
+        wants_private = bool(rng.random() < self.config.private_user_tx_share)
+
+        if roll < self.config.swap_tx_share:
+            tx = self._make_swap_tx(
+                sender, slot, max_fee, priority, sophistication, rng
+            )
+        elif roll < self.config.swap_tx_share + self.config.token_tx_share:
+            token = str(rng.choice(["USDC", "DAI", "USDT", "WBTC", "ALT1", "ALT2"]))
+            recipient = self.users[int(rng.integers(0, len(self.users)))]
+            balance = self.defi.tokens.balance_of(token, sender)
+            amount = max(1, int(balance * float(rng.uniform(0.001, 0.02))))
+            tx = self.tx_factory.create(
+                sender,
+                0,
+                [TokenTransfer(token, recipient, amount)],
+                max_fee,
+                priority,
+                extra_gas=self._extra_gas(rng),
+                origin=ORIGIN_PRIVATE if wants_private else ORIGIN_PUBLIC,
+                created_slot=slot,
+            )
+        else:
+            recipient = self.users[int(rng.integers(0, len(self.users)))]
+            value = ether(float(rng.uniform(0.01, 2.0)))
+            tx = self.tx_factory.create(
+                sender,
+                0,
+                [EthTransfer(recipient, value)],
+                max_fee,
+                priority,
+                extra_gas=self._extra_gas(rng),
+                origin=ORIGIN_PRIVATE if wants_private else ORIGIN_PUBLIC,
+                created_slot=slot,
+            )
+        return tx, wants_private
+
+    def _make_swap_tx(
+        self,
+        sender: Address,
+        slot: int,
+        max_fee: int,
+        priority: int,
+        sophistication: float,
+        rng: np.random.Generator,
+    ) -> Transaction:
+        pool_ids = [
+            pool_id
+            for pool_id in self.defi.amm.pool_ids()
+            if "TRON" not in pool_id
+        ]
+        pool_id = str(rng.choice(pool_ids))
+        pool = self.defi.amm.pool(pool_id)
+        token_in = pool.spec.token0 if rng.random() < 0.5 else pool.spec.token1
+        is_victim = bool(rng.random() < self.config.victim_swap_rate)
+        if token_in == "WETH":
+            whole = (
+                float(rng.uniform(0.8, 3.2)) * sophistication
+                if is_victim
+                else float(rng.uniform(0.05, 1.2))
+            )
+        else:
+            reserve_in, _ = pool.reserves_for(token_in)
+            whole_units = reserve_in / 10**self.defi.tokens.token(token_in).decimals
+            fraction = (
+                float(rng.uniform(0.002, 0.009))
+                if is_victim
+                else float(rng.uniform(0.0001, 0.001))
+            )
+            whole = whole_units * fraction
+        amount_in = int(whole * 10**self.defi.tokens.token(token_in).decimals)
+        amount_in = min(amount_in, self.defi.tokens.balance_of(token_in, sender))
+        if amount_in <= 0:
+            amount_in = 1
+        quote = pool.quote_out(token_in, amount_in) if amount_in > 0 else 0
+        slippage = float(rng.uniform(0.004, 0.018))
+        min_out = int(quote * (1 - slippage))
+        return self.tx_factory.create(
+            sender,
+            0,
+            [SwapExact(pool_id, token_in, amount_in, min_out)],
+            max_fee,
+            priority,
+            extra_gas=self._extra_gas(rng),
+            origin=ORIGIN_PUBLIC,
+            created_slot=slot,
+        )
+
+    def _generate_sanctioned_tx(self, slot: int, base_fee: int) -> Transaction:
+        rng = self._rng_txgen
+        priority = self._priority_fee(rng)
+        max_fee = self._max_fee(base_fee, rng, priority)
+        sanctioned = self._sanctioned_pool[
+            int(rng.integers(0, len(self._sanctioned_pool)))
+        ]
+        user = self.users[int(rng.integers(0, len(self.users)))]
+        roll = float(rng.random())
+        if roll < 0.1:
+            # Rare TRON token movement; reportable once TRON is designated.
+            other = self.users[int(rng.integers(0, len(self.users)))]
+            amount = int(float(rng.uniform(1_000, 80_000)) * 10**18)
+            held = self.defi.tokens.balance_of("TRON", user)
+            sender, actions = user, [
+                TokenTransfer("TRON", other, min(amount, max(1, held)))
+            ]
+        elif roll < 0.4:
+            sender, actions = sanctioned, [EthTransfer(user, ether(float(rng.uniform(0.5, 20.0))))]
+        elif roll < 0.65:
+            sender, actions = user, [EthTransfer(sanctioned, ether(float(rng.uniform(0.5, 10.0))))]
+        else:
+            token = str(rng.choice(["USDC", "USDT", "DAI"]))
+            decimals = self.defi.tokens.token(token).decimals
+            amount = int(float(rng.uniform(1_000, 50_000)) * 10**decimals)
+            if roll < 0.85:
+                sender, actions = sanctioned, [TokenTransfer(token, user, amount)]
+            else:
+                held = self.defi.tokens.balance_of(token, user)
+                sender, actions = user, [
+                    TokenTransfer(token, sanctioned, min(amount, max(1, held)))
+                ]
+        return self.tx_factory.create(
+            sender,
+            0,
+            actions,
+            max_fee,
+            priority,
+            extra_gas=self._extra_gas(rng),
+            origin=ORIGIN_PUBLIC,
+            created_slot=slot,
+        )
+
+    def _generate_public_bot_txs(self, slot: int, base_fee: int) -> list[Transaction]:
+        """Naive mempool bots: public-PGA-style arbitrage and liquidations."""
+        rng = self._rng_txgen
+        txs: list[Transaction] = []
+        if rng.random() < self.config.public_searcher_skill:
+            plans = plan_liquidations(
+                self.defi.markets, self.oracle, self.defi.tokens,
+                min_bonus_wei=ether(0.01),
+            )
+            if plans:
+                plan = plans[0]
+                held = self.defi.tokens.balance_of(plan.debt_token, self._public_bot)
+                if held >= plan.debt_amount:
+                    bid_per_gas = max(
+                        gwei(2),
+                        int(plan.expected_bonus_wei * 0.5 / 300_000),
+                    )
+                    from ..chain.transaction import LiquidatePosition
+
+                    txs.append(
+                        self.tx_factory.create(
+                            self._public_bot,
+                            0,
+                            [LiquidatePosition(plan.market_id, plan.borrower)],
+                            base_fee * 2 + bid_per_gas,
+                            bid_per_gas,
+                            origin=ORIGIN_PUBLIC,
+                            created_slot=slot,
+                        )
+                    )
+        if rng.random() < self.config.public_searcher_skill * 0.8:
+            cycles = self._arb_cycles()
+            best_plan = None
+            for cycle in cycles:
+                plan = plan_cycle_arbitrage(
+                    self.defi.amm,
+                    cycle,
+                    max_input=self.defi.tokens.balance_of("WETH", self._public_bot),
+                    min_profit=int(0.01 * 10**18),
+                )
+                if plan is not None and (
+                    best_plan is None or plan.profit > best_plan.profit
+                ):
+                    best_plan = plan
+            if best_plan is not None:
+                gas_estimate = 120_000 * len(best_plan.hops) + 21_000
+                bid_per_gas = max(gwei(2), int(best_plan.profit * 0.5 / gas_estimate))
+                actions = [
+                    SwapExact(pool_id, token_in, amount_in, amount_out)
+                    for pool_id, token_in, amount_in, amount_out in best_plan.hops
+                ]
+                txs.append(
+                    self.tx_factory.create(
+                        self._public_bot,
+                        0,
+                        actions,
+                        base_fee * 2 + bid_per_gas,
+                        bid_per_gas,
+                        origin=ORIGIN_PUBLIC,
+                        created_slot=slot,
+                    )
+                )
+        return txs
+
+    def _arb_cycles(self) -> list[tuple[str, ...]]:
+        cycles = getattr(self, "_cached_cycles", None)
+        if cycles is None:
+            cycles = find_arbitrage_cycles(self.defi.amm)
+            self._cached_cycles = cycles
+        return cycles
+
+    # ------------------------------------------------------------------
+    # The slot loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> "World":
+        """Advance the world through the configured study window."""
+        if self._has_run:
+            return self
+        self._has_run = True
+        config = self.config
+        slot_seconds = config.seconds_per_simulated_slot
+        global_index = 0
+        for day in range(config.num_days):
+            self._advance_day(day)
+            date = MERGE_DATE + datetime.timedelta(days=day)
+            for slot_in_day in range(config.blocks_per_day):
+                slot = MERGE_SLOT + global_index
+                slot_time = (
+                    _GENESIS_TIME
+                    + day * _SECONDS_PER_DAY
+                    + slot_in_day * slot_seconds
+                )
+                self._run_slot(slot, day, date, slot_time, global_index)
+                global_index += 1
+        return self
+
+    def _run_slot(
+        self,
+        slot: int,
+        day: int,
+        date: datetime.date,
+        slot_time: float,
+        global_index: int,
+    ) -> None:
+        config = self.config
+        rng = self._rng_auction
+        proposer = self.schedule.proposer_for_slot(slot)
+        sophistication = calibration.builder_sophistication(day)
+        intensity = self.timeline.mev_intensity(day)
+        base_fee = self.chain.next_base_fee()
+
+        self._inject_workload(slot, day, slot_time, base_fee, sophistication, intensity)
+
+        if rng.random() < config.missed_slot_rate:
+            self.beacon.append(
+                BeaconBlockRecord(
+                    slot=slot,
+                    date=date,
+                    proposer_index=proposer.index,
+                    proposer_entity=proposer.entity,
+                    execution_block_hash=None,
+                )
+            )
+            return
+
+        # Register the proposer with its relays (relay-API dataset).
+        if proposer.uses_mev_boost and not config.use_enshrined_pbs:
+            for relay_name in proposer.relays:
+                key = (proposer.index, relay_name)
+                if key not in self._registered_relays:
+                    relay = self.relays.get(relay_name)
+                    if relay is not None:
+                        relay.register_validator(proposer, slot)
+                        self._registered_relays.add(key)
+
+        bundles_by_builder = self._collect_bundles(slot, base_fee, slot_time, day)
+        active_builders = self._pick_active_builders(day)
+
+        ctx = SlotContext(
+            slot=slot,
+            day=day,
+            date=date,
+            timestamp=int(slot_time),
+            block_number=self.chain.next_block_number,
+            parent_hash=self.chain.parent_hash,
+            base_fee=base_fee,
+            gas_limit=MAX_BLOCK_GAS,
+            canonical_ctx=self.canonical_ctx,
+            engine=self.engine,
+            mempool=self.mempool,
+            private_flow=self.private_flow,
+            bundles_by_builder=bundles_by_builder,
+            sanctions=self.sanctions,
+            rng=rng,
+            tx_factory=self.tx_factory,
+            build_cutoff_time=slot_time,
+        )
+        outcome = self.auction.run(ctx, proposer, active_builders)
+        self._apply_outcome(outcome, ctx, date)
+
+    def _inject_workload(
+        self,
+        slot: int,
+        day: int,
+        slot_time: float,
+        base_fee: int,
+        sophistication: float,
+        intensity: float,
+    ) -> None:
+        config = self.config
+        rng = self._rng_txgen
+        window = config.seconds_per_simulated_slot
+        mean_txs = (
+            config.mean_user_txs_per_slot
+            * calibration.tx_volume_multiplier(day)
+            * (1.0 + 0.25 * (intensity - 1.0))
+        )
+        count = int(rng.poisson(mean_txs))
+        # Crisis days (FTX, USDC depeg) bring larger, more hurried trades —
+        # the MEV supply behind Figure 10's profit spikes.
+        victim_boost = sophistication * intensity**0.6
+        for _ in range(count):
+            generated = self._generate_user_tx(slot, day, base_fee, victim_boost)
+            if generated is None:
+                continue
+            tx, wants_private = generated
+            created = slot_time - float(rng.uniform(0.0, window))
+            if wants_private:
+                recipients = self._sample_builders_by_weight(1 + int(rng.random() < 0.4))
+                if recipients:
+                    self.private_flow.deliver(tx, recipients, created)
+                    continue
+            origin_node = self.network.random_node(rng)
+            entry = self.mempool.broadcast(tx, origin_node, created)
+            self.observations.record_broadcast(entry)
+
+        if rng.random() < config.sanctioned_tx_rate:
+            tx = self._generate_sanctioned_tx(slot, base_fee)
+            origin_node = self.network.random_node(rng)
+            entry = self.mempool.broadcast(
+                tx, origin_node, slot_time - float(rng.uniform(0.0, window))
+            )
+            self.observations.record_broadcast(entry)
+
+        for tx in self._generate_public_bot_txs(slot, base_fee):
+            origin_node = self.network.random_node(rng)
+            # Public bots raced the previous block: their transactions are
+            # old enough for even slow local proposers to have seen them.
+            entry = self.mempool.broadcast(
+                tx, origin_node, slot_time - float(rng.uniform(0.3, 0.9)) * window
+            )
+            self.observations.record_broadcast(entry)
+
+        if (
+            config.enable_binance_ankr_flow
+            and self.timeline.in_binance_ankr_window(day)
+        ):
+            for _ in range(int(rng.integers(2, 6))):
+                priority = self._priority_fee(rng)
+                tx = self.tx_factory.create(
+                    self._binance_hot_wallet,
+                    0,
+                    [EthTransfer(self._ankr_deposit, ether(float(rng.uniform(5, 60))))],
+                    self._max_fee(base_fee, rng, priority),
+                    priority,
+                    origin=ORIGIN_PRIVATE,
+                    created_slot=slot,
+                )
+                self.private_flow.deliver(tx, ("AnkrPool",), slot_time - 1.0)
+
+    def _collect_bundles(
+        self, slot: int, base_fee: int, slot_time: float, day: int
+    ) -> dict[str, list[Bundle]]:
+        rng = self._rng_searchers
+        pending = [
+            entry.tx
+            for entry in self.mempool.pending()
+            if entry.broadcast_time <= slot_time
+        ]
+        view = SlotView(
+            slot=slot,
+            base_fee=base_fee,
+            state=self.state,
+            amm=self.defi.amm,
+            markets=self.defi.markets,
+            oracle=self.oracle,
+            tokens=self.defi.tokens,
+            mempool_txs=pending,
+            rng=rng,
+            tx_factory=self.tx_factory,
+        )
+        routed: dict[str, list[Bundle]] = {}
+        from ..mev.bundles import KIND_SANDWICH
+
+        for searcher in self.searchers:
+            for bundle in searcher.find_bundles(view):
+                targets = set(
+                    self._sample_builders_by_weight(2 + int(rng.random() < 0.6))
+                )
+                if bundle.kind == KIND_SANDWICH and rng.random() < 0.2:
+                    # Despite its relay's "ethical" branding, the bloXroute
+                    # pipeline keeps receiving front-running flow — which is
+                    # exactly how the paper finds 2,002 sandwiches slipping
+                    # through the filter.
+                    targets.add("bloXroute (E)")
+                for target in sorted(targets):
+                    routed.setdefault(target, []).append(bundle)
+        return routed
+
+    def _sample_builders_by_weight(self, count: int) -> tuple[str, ...]:
+        weights = getattr(self, "_day_flow_weights", None)
+        if not weights:
+            return ()
+        names = [name for name, weight in weights.items() if weight > 0]
+        if not names:
+            return ()
+        probs = np.array([weights[name] for name in names], dtype=float)
+        probs = probs / probs.sum()
+        count = min(count, len(names))
+        chosen = self._rng_searchers.choice(
+            names, size=count, replace=False, p=probs
+        )
+        return tuple(str(name) for name in np.atleast_1d(chosen))
+
+    def _pick_active_builders(self, day: int) -> list[str]:
+        weights = self._day_flow_weights
+        names = [name for name, weight in weights.items() if weight > 0]
+        if not names:
+            return []
+        probs = np.array([weights[name] for name in names], dtype=float)
+        probs = probs / probs.sum()
+        count = min(self.config.max_active_builders_per_slot, len(names))
+        chosen = self._rng_auction.choice(
+            names, size=count, replace=False, p=probs
+        )
+        active = [str(name) for name in np.atleast_1d(chosen)]
+        # Builders with a scripted event today always show up to work —
+        # the incidents happened, so their actors must be present.
+        for name, builder in self.builders.items():
+            if name in active:
+                continue
+            if (
+                day in builder.scripted_mispromise
+                or day in builder.timestamp_bug_days
+                or day in getattr(builder, "claim_inflation_days", ())
+            ):
+                active.append(name)
+        # Builders submit to a per-slot sampled subset of their relay routes.
+        for name in active:
+            builder = self.builders[name]
+            route = getattr(self, "_relay_route_weights", {}).get(name)
+            if route:
+                relay_names = list(route)
+                relay_probs = np.array([route[r] for r in relay_names], dtype=float)
+                relay_probs = relay_probs / relay_probs.sum()
+                take = min(len(relay_names), 1 + int(self._rng_auction.random() < 0.25))
+                picked = self._rng_auction.choice(
+                    relay_names, size=take, replace=False, p=relay_probs
+                )
+                relays = {str(r) for r in np.atleast_1d(picked)}
+                if day in getattr(builder, "claim_inflation_days", ()):
+                    # The Manifold exploit requires submitting to Manifold.
+                    relays.add("Manifold")
+                builder.relays = tuple(sorted(relays))
+        return active
+
+    def _apply_outcome(
+        self, outcome: SlotOutcome, ctx: SlotContext, date: datetime.date
+    ) -> None:
+        outcome.speculative_ctx.commit()
+        self.chain.append(outcome.block, outcome.result)
+        self.beacon.append(
+            BeaconBlockRecord(
+                slot=outcome.slot,
+                date=date,
+                proposer_index=outcome.proposer.index,
+                proposer_entity=outcome.proposer.entity,
+                execution_block_hash=outcome.block.block_hash,
+                used_mev_boost=outcome.used_pbs,
+            )
+        )
+        self.rewards.reward_proposer(outcome.proposer.index)
+        included = [tx.tx_hash for tx in outcome.block.transactions]
+        self.mempool.remove_included(included)
+        self.private_flow.remove_included(included)
+        self.mempool.expire(ctx.build_cutoff_time)
+        submission = outcome.winning_submission
+        winner = submission.builder_name if submission else None
+        for name, builder in self.builders.items():
+            fired = builder.mispromise_fired
+            if fired is None:
+                continue
+            builder.mispromise_fired = None
+            if winner != name:
+                # The mispriced bid lost this slot's auction; re-arm so the
+                # documented incident still lands on chain.
+                _, claimed, paid = fired
+                builder.scripted_mispromise[ctx.day] = (claimed, paid)
+        self.slot_records.append(
+            SlotRecord(
+                slot=outcome.slot,
+                day=ctx.day,
+                block_number=outcome.block.number,
+                mode=outcome.mode,
+                winning_builder=submission.builder_name if submission else None,
+                delivering_relays=outcome.delivering_relays,
+                payment_wei=submission.payment_wei if submission else 0,
+                # The claim the proposer actually saw (relay-specific
+                # overrides included — the Manifold exploit is visible here).
+                claimed_wei=(
+                    max(
+                        (submission.claimed_for(relay)
+                         for relay in outcome.delivering_relays),
+                        default=submission.claimed_value_wei,
+                    )
+                    if submission
+                    else 0
+                ),
+            )
+        )
+
+
+def build_world(config: SimulationConfig | None = None) -> World:
+    """Create (but do not run) a world from a config."""
+    return World(config or SimulationConfig())

@@ -1,0 +1,110 @@
+"""Unit tests for the canonical chain store."""
+
+import pytest
+
+from repro.chain.block import seal_block
+from repro.chain.chain import Chain, GENESIS_PARENT_HASH
+from repro.chain.execution import BlockExecutionResult
+from repro.chain.fee_market import next_base_fee
+from repro.errors import ChainError
+from repro.types import derive_address, gwei
+
+FEE_RECIPIENT = derive_address("ch", "builder")
+
+
+def _append_block(chain, gas_used=15_000_000):
+    block = seal_block(
+        number=chain.next_block_number,
+        slot=chain.next_block_number,
+        timestamp=0,
+        parent_hash=chain.parent_hash,
+        fee_recipient=FEE_RECIPIENT,
+        gas_limit=30_000_000,
+        gas_used=gas_used,
+        base_fee_per_gas=chain.next_base_fee(),
+        transactions=(),
+    )
+    chain.append(block, BlockExecutionResult())
+    return block
+
+
+class TestGrowth:
+    def test_empty_chain(self):
+        chain = Chain(first_block_number=100)
+        assert len(chain) == 0
+        assert chain.head is None
+        assert chain.next_block_number == 100
+        assert chain.parent_hash == GENESIS_PARENT_HASH
+
+    def test_append_advances_head(self):
+        chain = Chain()
+        block = _append_block(chain)
+        assert chain.head is block
+        assert chain.next_block_number == 1
+        assert chain.parent_hash == block.block_hash
+
+    def test_wrong_number_rejected(self):
+        chain = Chain()
+        block = seal_block(
+            number=5, slot=0, timestamp=0, parent_hash=chain.parent_hash,
+            fee_recipient=FEE_RECIPIENT, gas_limit=30_000_000, gas_used=0,
+            base_fee_per_gas=gwei(10), transactions=(),
+        )
+        with pytest.raises(ChainError):
+            chain.append(block, BlockExecutionResult())
+
+    def test_wrong_parent_rejected(self):
+        chain = Chain()
+        _append_block(chain)
+        orphan = seal_block(
+            number=1, slot=1, timestamp=0, parent_hash=GENESIS_PARENT_HASH,
+            fee_recipient=FEE_RECIPIENT, gas_limit=30_000_000, gas_used=0,
+            base_fee_per_gas=gwei(10), transactions=(),
+        )
+        with pytest.raises(ChainError):
+            chain.append(orphan, BlockExecutionResult())
+
+    def test_gas_over_limit_rejected(self):
+        chain = Chain()
+        block = seal_block(
+            number=0, slot=0, timestamp=0, parent_hash=chain.parent_hash,
+            fee_recipient=FEE_RECIPIENT, gas_limit=30_000_000,
+            gas_used=30_000_001, base_fee_per_gas=gwei(10), transactions=(),
+        )
+        with pytest.raises(ChainError):
+            chain.append(block, BlockExecutionResult())
+
+
+class TestLookups:
+    def test_by_number_and_hash(self):
+        chain = Chain(first_block_number=50)
+        block = _append_block(chain)
+        assert chain.block_by_number(50) is block
+        assert chain.block_by_hash(block.block_hash) is block
+        assert chain.has_block(block.block_hash)
+
+    def test_unknown_lookups_raise(self):
+        chain = Chain()
+        with pytest.raises(ChainError):
+            chain.block_by_number(3)
+        with pytest.raises(ChainError):
+            chain.block_by_hash("0x" + "ab" * 32)
+        with pytest.raises(ChainError):
+            chain.execution_result("0x" + "ab" * 32)
+
+    def test_iteration_order(self):
+        chain = Chain()
+        blocks = [_append_block(chain) for _ in range(3)]
+        assert list(chain) == blocks
+
+
+class TestBaseFeeTracking:
+    def test_follows_eip1559(self):
+        chain = Chain()
+        _append_block(chain, gas_used=30_000_000)  # full block
+        expected = next_base_fee(
+            chain.head.header.base_fee_per_gas, 30_000_000, 30_000_000
+        )
+        # Head was sealed with the previous base fee; next must increase.
+        assert chain.next_base_fee() == expected
+        assert chain.next_base_fee() > chain.head.header.base_fee_per_gas

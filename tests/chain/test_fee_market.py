@@ -1,0 +1,65 @@
+"""Unit tests for the EIP-1559 fee market."""
+
+import pytest
+
+from repro.chain.fee_market import gas_target, next_base_fee
+from repro.constants import (
+    BASE_FEE_MAX_CHANGE_DENOMINATOR,
+    MIN_BASE_FEE_WEI,
+    TARGET_BLOCK_GAS,
+)
+from repro.errors import ChainError
+
+GAS_LIMIT = 30_000_000
+BASE = 20 * 10**9
+
+
+class TestGasTarget:
+    def test_target_is_half_the_limit(self):
+        assert gas_target(GAS_LIMIT) == 15_000_000
+        assert gas_target(GAS_LIMIT) == TARGET_BLOCK_GAS
+
+
+class TestUpdateRule:
+    def test_at_target_unchanged(self):
+        assert next_base_fee(BASE, 15_000_000, GAS_LIMIT) == BASE
+
+    def test_full_block_raises_by_one_eighth(self):
+        updated = next_base_fee(BASE, GAS_LIMIT, GAS_LIMIT)
+        assert updated == BASE + BASE // BASE_FEE_MAX_CHANGE_DENOMINATOR
+
+    def test_empty_block_lowers_by_one_eighth(self):
+        updated = next_base_fee(BASE, 0, GAS_LIMIT)
+        assert updated == BASE - BASE // BASE_FEE_MAX_CHANGE_DENOMINATOR
+
+    def test_above_target_increases(self):
+        assert next_base_fee(BASE, 20_000_000, GAS_LIMIT) > BASE
+
+    def test_below_target_decreases(self):
+        assert next_base_fee(BASE, 10_000_000, GAS_LIMIT) < BASE
+
+    def test_increase_is_at_least_one_wei(self):
+        assert next_base_fee(1, 15_000_001, GAS_LIMIT) >= 2
+
+    def test_floor_is_respected(self):
+        assert next_base_fee(MIN_BASE_FEE_WEI, 0, GAS_LIMIT) == MIN_BASE_FEE_WEI
+
+    def test_proportionality(self):
+        # Half-way above target moves half as much as a full block.
+        full = next_base_fee(BASE, GAS_LIMIT, GAS_LIMIT) - BASE
+        half = next_base_fee(BASE, 22_500_000, GAS_LIMIT) - BASE
+        assert half == pytest.approx(full / 2, rel=0.01)
+
+
+class TestValidation:
+    def test_negative_base_fee_rejected(self):
+        with pytest.raises(ChainError):
+            next_base_fee(-1, 0, GAS_LIMIT)
+
+    def test_gas_above_limit_rejected(self):
+        with pytest.raises(ChainError):
+            next_base_fee(BASE, GAS_LIMIT + 1, GAS_LIMIT)
+
+    def test_negative_gas_rejected(self):
+        with pytest.raises(ChainError):
+            next_base_fee(BASE, -5, GAS_LIMIT)

@@ -1,0 +1,124 @@
+"""Unit tests for the forkable account state."""
+
+import pytest
+
+from repro.chain.state import WorldState
+from repro.errors import ChainError, InsufficientBalanceError, NonceError
+from repro.types import derive_address, ether
+
+ALICE = derive_address("test", "alice")
+BOB = derive_address("test", "bob")
+
+
+@pytest.fixture
+def state():
+    s = WorldState()
+    s.mint(ALICE, ether(10))
+    return s
+
+
+class TestBalances:
+    def test_mint_and_read(self, state):
+        assert state.balance_of(ALICE) == ether(10)
+
+    def test_unknown_account_is_zero(self, state):
+        assert state.balance_of(BOB) == 0
+
+    def test_transfer(self, state):
+        state.transfer(ALICE, BOB, ether(4))
+        assert state.balance_of(ALICE) == ether(6)
+        assert state.balance_of(BOB) == ether(4)
+
+    def test_overdraft_rejected(self, state):
+        with pytest.raises(InsufficientBalanceError):
+            state.transfer(ALICE, BOB, ether(11))
+
+    def test_overdraft_leaves_balances_intact(self, state):
+        with pytest.raises(InsufficientBalanceError):
+            state.debit(ALICE, ether(11))
+        assert state.balance_of(ALICE) == ether(10)
+
+    def test_negative_amounts_rejected(self, state):
+        with pytest.raises(ChainError):
+            state.credit(ALICE, -1)
+        with pytest.raises(ChainError):
+            state.debit(ALICE, -1)
+        with pytest.raises(ChainError):
+            state.mint(ALICE, -1)
+
+    def test_burn_tracks_counter(self, state):
+        state.burn(ALICE, ether(2))
+        assert state.balance_of(ALICE) == ether(8)
+        assert state.burned_wei == ether(2)
+
+    def test_record_burn_rejects_negative(self, state):
+        with pytest.raises(ChainError):
+            state.record_burn(-1)
+
+
+class TestConservation:
+    def test_supply_equals_minted_minus_burned(self, state):
+        state.mint(BOB, ether(3))
+        state.transfer(ALICE, BOB, ether(1))
+        state.burn(BOB, ether(2))
+        assert state.total_supply() == state.minted_wei - state.burned_wei
+
+
+class TestNonces:
+    def test_initial_nonce_zero(self, state):
+        assert state.nonce_of(ALICE) == 0
+
+    def test_bump(self, state):
+        assert state.bump_nonce(ALICE) == 0
+        assert state.nonce_of(ALICE) == 1
+
+    def test_bump_with_expected(self, state):
+        state.bump_nonce(ALICE, expected=0)
+        with pytest.raises(NonceError):
+            state.bump_nonce(ALICE, expected=0)
+
+
+class TestForking:
+    def test_fork_reads_parent(self, state):
+        fork = state.fork()
+        assert fork.balance_of(ALICE) == ether(10)
+
+    def test_fork_write_isolated(self, state):
+        fork = state.fork()
+        fork.transfer(ALICE, BOB, ether(5))
+        assert state.balance_of(BOB) == 0
+        assert fork.balance_of(BOB) == ether(5)
+
+    def test_commit_merges(self, state):
+        fork = state.fork()
+        fork.transfer(ALICE, BOB, ether(5))
+        fork.commit()
+        assert state.balance_of(BOB) == ether(5)
+
+    def test_commit_root_rejected(self, state):
+        with pytest.raises(ChainError):
+            state.commit()
+
+    def test_nested_forks(self, state):
+        fork1 = state.fork()
+        fork2 = fork1.fork()
+        fork2.transfer(ALICE, BOB, ether(1))
+        fork2.commit()
+        assert fork1.balance_of(BOB) == ether(1)
+        assert state.balance_of(BOB) == 0
+        fork1.commit()
+        assert state.balance_of(BOB) == ether(1)
+
+    def test_burn_counters_merge_on_commit(self, state):
+        fork = state.fork()
+        fork.burn(ALICE, ether(1))
+        assert state.burned_wei == 0
+        fork.commit()
+        assert state.burned_wei == ether(1)
+
+    def test_conservation_across_forks(self, state):
+        fork = state.fork()
+        fork.mint(BOB, ether(7))
+        fork.burn(ALICE, ether(3))
+        fork.commit()
+        assert state.total_supply() == state.minted_wei - state.burned_wei

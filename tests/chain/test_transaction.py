@@ -1,0 +1,99 @@
+"""Unit tests for transactions and their fee semantics."""
+
+import pytest
+
+from repro.chain.transaction import (
+    EthTransfer,
+    INTRINSIC_GAS,
+    ORIGIN_BUNDLE,
+    ORIGIN_PUBLIC,
+    SWAP_GAS,
+    SwapExact,
+    TipCoinbase,
+    TokenTransfer,
+    TransactionFactory,
+    make_transaction,
+)
+from repro.errors import ConfigError
+from repro.types import derive_address, gwei
+
+SENDER = derive_address("test", "sender")
+OTHER = derive_address("test", "other")
+
+
+def _tx(**kwargs):
+    defaults = dict(
+        sender=SENDER,
+        nonce=0,
+        actions=[EthTransfer(OTHER, 100)],
+        max_fee_per_gas=gwei(30),
+        max_priority_fee_per_gas=gwei(2),
+    )
+    defaults.update(kwargs)
+    return make_transaction(**defaults)
+
+
+class TestConstruction:
+    def test_hashes_unique(self):
+        assert _tx().tx_hash != _tx().tx_hash
+
+    def test_factory_deterministic_per_instance(self):
+        a = TransactionFactory().create(SENDER, 0, [EthTransfer(OTHER, 1)], 10, 1)
+        b = TransactionFactory().create(SENDER, 0, [EthTransfer(OTHER, 1)], 10, 1)
+        assert a.tx_hash == b.tx_hash
+
+    def test_priority_above_max_fee_rejected(self):
+        with pytest.raises(ConfigError):
+            _tx(max_fee_per_gas=gwei(1), max_priority_fee_per_gas=gwei(2))
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(ConfigError):
+            _tx(origin="weird")
+
+    def test_negative_extra_gas_rejected(self):
+        with pytest.raises(ConfigError):
+            _tx(extra_gas=-1)
+
+    def test_origins(self):
+        assert _tx().origin == ORIGIN_PUBLIC
+        assert _tx(origin=ORIGIN_BUNDLE).origin == ORIGIN_BUNDLE
+
+
+class TestGas:
+    def test_intrinsic_only_for_plain_transfer(self):
+        assert _tx().gas_limit == INTRINSIC_GAS
+
+    def test_swap_gas_adds(self):
+        tx = _tx(actions=[SwapExact("p", "WETH", 1, 0)])
+        assert tx.gas_limit == INTRINSIC_GAS + SWAP_GAS
+
+    def test_extra_gas_adds(self):
+        assert _tx(extra_gas=100_000).gas_limit == INTRINSIC_GAS + 100_000
+
+    def test_multiple_actions_sum(self):
+        tx = _tx(actions=[EthTransfer(OTHER, 1), TokenTransfer("USDC", OTHER, 5)])
+        assert tx.gas_limit > INTRINSIC_GAS
+
+
+class TestFees:
+    def test_eligibility(self):
+        tx = _tx(max_fee_per_gas=gwei(10))
+        assert tx.is_eligible(gwei(10))
+        assert not tx.is_eligible(gwei(11))
+
+    def test_priority_capped_by_headroom(self):
+        tx = _tx(max_fee_per_gas=gwei(10), max_priority_fee_per_gas=gwei(4))
+        # At base fee 8, only 2 gwei of headroom remains.
+        assert tx.priority_fee_per_gas(gwei(8)) == gwei(2)
+
+    def test_priority_full_when_headroom_allows(self):
+        tx = _tx(max_fee_per_gas=gwei(10), max_priority_fee_per_gas=gwei(4))
+        assert tx.priority_fee_per_gas(gwei(3)) == gwei(4)
+
+    def test_effective_gas_price(self):
+        tx = _tx(max_fee_per_gas=gwei(10), max_priority_fee_per_gas=gwei(4))
+        assert tx.effective_gas_price(gwei(3)) == gwei(7)
+
+    def test_max_spend_covers_fees_and_value(self):
+        tx = _tx(actions=[EthTransfer(OTHER, 777), TipCoinbase(23)])
+        assert tx.max_spend() == tx.gas_limit * tx.max_fee_per_gas + 800

@@ -1,0 +1,46 @@
+"""Shared fixtures: small simulated worlds, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import collect_study_dataset
+from repro.simulation import build_world
+from repro.simulation.config import SimulationConfig, small_test_config
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A tiny world (12 days x 8 blocks) for fast structural tests."""
+    return build_world(small_test_config()).run()
+
+
+@pytest.fixture(scope="session")
+def medium_world():
+    """A world long enough for qualitative paper findings to emerge.
+
+    Spans the 2022-11-08 OFAC update, the Nov-10 timestamp bug, the FTX
+    spike, and the Manifold/Eden incidents.
+    """
+    config = SimulationConfig(
+        seed=13,
+        num_days=70,
+        blocks_per_day=14,
+        num_validators=360,
+        num_users=260,
+        num_long_tail_builders=24,
+        network_nodes=32,
+        mean_user_txs_per_slot=50.0,
+        max_active_builders_per_slot=6,
+    )
+    return build_world(config).run()
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_world):
+    return collect_study_dataset(small_world)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset(medium_world):
+    return collect_study_dataset(medium_world)

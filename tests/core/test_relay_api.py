@@ -1,0 +1,85 @@
+"""Unit tests for the relay data API store."""
+
+from repro.core.relay_api import (
+    BuilderSubmissionRecord,
+    DeliveredPayload,
+    RelayDataStore,
+    ValidatorRegistration,
+)
+from repro.types import derive_address, derive_hash, derive_pubkey
+
+
+def _registration(index=0):
+    return ValidatorRegistration(
+        relay="r",
+        validator_pubkey=derive_pubkey("api", index),
+        validator_index=index,
+        fee_recipient=derive_address("api", index),
+        registered_slot=10,
+    )
+
+
+def _submission(slot=1, accepted=True):
+    return BuilderSubmissionRecord(
+        relay="r",
+        slot=slot,
+        block_number=slot,
+        block_hash=derive_hash("api", slot),
+        builder_pubkey=derive_pubkey("api", "builder"),
+        value_claimed_wei=100,
+        accepted=accepted,
+    )
+
+
+def _payload(slot=1):
+    return DeliveredPayload(
+        relay="r",
+        slot=slot,
+        block_number=slot,
+        block_hash=derive_hash("api", slot),
+        builder_pubkey=derive_pubkey("api", "builder"),
+        proposer_pubkey=derive_pubkey("api", "proposer"),
+        proposer_fee_recipient=derive_address("api", "fee"),
+        value_claimed_wei=100,
+    )
+
+
+class TestRegistrations:
+    def test_records_once_per_pubkey(self):
+        store = RelayDataStore("r")
+        store.record_registration(_registration(0))
+        store.record_registration(_registration(0))  # refresh, not duplicate
+        store.record_registration(_registration(1))
+        assert len(store.get_validator_registrations()) == 2
+
+
+class TestSubmissions:
+    def test_filter_by_slot(self):
+        store = RelayDataStore("r")
+        store.record_submission(_submission(slot=1))
+        store.record_submission(_submission(slot=2))
+        assert len(store.get_builder_blocks_received()) == 2
+        assert len(store.get_builder_blocks_received(slot=1)) == 1
+
+    def test_rejections_recorded(self):
+        store = RelayDataStore("r")
+        store.record_submission(_submission(accepted=False))
+        records = store.get_builder_blocks_received()
+        assert not records[0].accepted
+
+
+class TestPayloads:
+    def test_filter_by_slot(self):
+        store = RelayDataStore("r")
+        store.record_delivery(_payload(slot=3))
+        assert len(store.get_payloads_delivered(slot=3)) == 1
+        assert store.get_payloads_delivered(slot=4) == []
+
+
+class TestInventory:
+    def test_total_entries(self):
+        store = RelayDataStore("r")
+        store.record_registration(_registration())
+        store.record_submission(_submission())
+        store.record_delivery(_payload())
+        assert store.total_entries() == 3

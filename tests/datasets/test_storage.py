@@ -1,0 +1,67 @@
+"""Tests for CSV/JSON dataset export."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.datasets.storage import (
+    BLOCKS_CSV,
+    DELIVERIES_CSV,
+    INVENTORY_JSON,
+    MEV_CSV,
+    export_study_dataset,
+    load_block_rows,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def exported(small_dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("export")
+    written = export_study_dataset(small_dataset, directory)
+    return directory, written
+
+
+class TestExport:
+    def test_all_files_written(self, exported):
+        directory, written = exported
+        assert set(written) == {
+            BLOCKS_CSV, DELIVERIES_CSV, MEV_CSV, INVENTORY_JSON,
+        }
+        for path in written.values():
+            assert pathlib.Path(path).exists()
+
+    def test_block_rows_round_trip(self, exported, small_dataset):
+        directory, _ = exported
+        rows = load_block_rows(directory)
+        assert len(rows) == len(small_dataset.blocks)
+        first = rows[0]
+        obs = small_dataset.block(int(first["number"]))
+        assert first["block_hash"] == obs.block_hash
+        assert int(first["is_pbs"]) == int(obs.is_pbs)
+        assert int(first["tx_count"]) == obs.tx_count
+
+    def test_inventory_json(self, exported, small_dataset):
+        directory, _ = exported
+        payload = json.loads((directory / INVENTORY_JSON).read_text())
+        assert payload["blocks"] == small_dataset.inventory.blocks
+        assert payload["ofac_addresses"] == 134
+
+    def test_deliveries_cover_relay_data(self, exported, small_dataset):
+        directory, _ = exported
+        lines = (directory / DELIVERIES_CSV).read_text().strip().splitlines()
+        expected = sum(
+            len(relay.data.get_payloads_delivered())
+            for relay in small_dataset.relays.values()
+        )
+        assert len(lines) - 1 == expected  # minus header
+
+    def test_mev_rows(self, exported, small_dataset):
+        directory, _ = exported
+        lines = (directory / MEV_CSV).read_text().strip().splitlines()
+        assert len(lines) - 1 == len(small_dataset.mev)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_block_rows(tmp_path / "nope")

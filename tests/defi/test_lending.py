@@ -1,0 +1,144 @@
+"""Unit tests for the lending market and liquidations."""
+
+import pytest
+
+from repro.chain.receipts import LIQUIDATION_EVENT_TOPIC
+from repro.defi.lending import LendingMarket
+from repro.defi.oracle import PriceOracle
+from repro.defi.tokens import TokenRegistry
+from repro.errors import DefiError, LiquidationError
+from repro.types import derive_address
+
+BORROWER = derive_address("lend", "borrower")
+KEEPER = derive_address("lend", "keeper")
+
+
+@pytest.fixture
+def setup():
+    tokens = TokenRegistry()
+    tokens.deploy("WETH")
+    tokens.deploy("USDC", decimals=6)
+    oracle = PriceOracle({"ETH": 1000.0, "WETH": 1000.0, "USDC": 1.0})
+    market = LendingMarket(
+        "aave", tokens, liquidation_threshold=0.8, liquidation_bonus=0.1
+    )
+    # 10 WETH collateral (10 ETH) against 6000 USDC debt (6 ETH):
+    # health = 10 * 0.8 / 6 = 1.33.
+    market.open_position(BORROWER, "WETH", 10 * 10**18, "USDC", 6_000 * 10**6)
+    tokens.mint("USDC", KEEPER, 100_000 * 10**6)
+    return tokens, oracle, market
+
+
+class TestPositions:
+    def test_open_mints_debt_to_borrower(self, setup):
+        tokens, _, _ = setup
+        assert tokens.balance_of("USDC", BORROWER) == 6_000 * 10**6
+
+    def test_collateral_escrowed(self, setup):
+        tokens, _, market = setup
+        assert tokens.balance_of("WETH", market.address) == 10 * 10**18
+
+    def test_duplicate_position_rejected(self, setup):
+        _, _, market = setup
+        with pytest.raises(DefiError):
+            market.open_position(BORROWER, "WETH", 1, "USDC", 1)
+
+    def test_unknown_borrower(self, setup):
+        _, _, market = setup
+        with pytest.raises(DefiError):
+            market.position(KEEPER)
+
+
+class TestHealth:
+    def test_healthy_at_opening(self, setup):
+        _, oracle, market = setup
+        assert market.health_factor(BORROWER, oracle) == pytest.approx(1.333, rel=0.01)
+
+    def test_price_drop_makes_liquidatable(self, setup):
+        _, oracle, market = setup
+        oracle.set_price("WETH", 700.0)  # collateral value falls
+        assert market.health_factor(BORROWER, oracle) < 1.0
+        assert [p.borrower for p in market.liquidatable(oracle)] == [BORROWER]
+
+    def test_healthy_position_not_listed(self, setup):
+        _, oracle, market = setup
+        assert market.liquidatable(oracle) == []
+
+
+class TestLiquidation:
+    def test_healthy_liquidation_rejected(self, setup):
+        tokens, oracle, market = setup
+        with pytest.raises(LiquidationError):
+            market.liquidate(KEEPER, BORROWER, oracle, tokens)
+
+    def test_liquidation_flow(self, setup):
+        tokens, oracle, market = setup
+        oracle.set_price("WETH", 700.0)
+        keeper_usdc = tokens.balance_of("USDC", KEEPER)
+        seized, logs = market.liquidate(KEEPER, BORROWER, oracle, tokens)
+        # Keeper repaid the full debt...
+        assert tokens.balance_of("USDC", KEEPER) == keeper_usdc - 6_000 * 10**6
+        # ...and received collateral worth debt * (1 + bonus).
+        expected = (6_000 / 700.0) * 1.1 * 10**18
+        assert seized == pytest.approx(expected, rel=0.001)
+        assert tokens.balance_of("WETH", KEEPER) == seized
+        # Position is closed.
+        with pytest.raises(DefiError):
+            market.position(BORROWER)
+
+    def test_liquidation_emits_event(self, setup):
+        tokens, oracle, market = setup
+        oracle.set_price("WETH", 700.0)
+        _, logs = market.liquidate(KEEPER, BORROWER, oracle, tokens)
+        topics = [log.topic for log in logs]
+        assert LIQUIDATION_EVENT_TOPIC in topics
+        event = [log for log in logs if log.topic == LIQUIDATION_EVENT_TOPIC][0]
+        assert event.data["borrower"] == BORROWER
+        assert event.data["liquidator"] == KEEPER
+
+    def test_seize_capped_at_collateral(self, setup):
+        tokens, oracle, market = setup
+        oracle.set_price("WETH", 100.0)  # deep underwater
+        seized, _ = market.liquidate(KEEPER, BORROWER, oracle, tokens)
+        assert seized == 10 * 10**18
+
+    def test_double_liquidation_rejected(self, setup):
+        tokens, oracle, market = setup
+        oracle.set_price("WETH", 700.0)
+        market.liquidate(KEEPER, BORROWER, oracle, tokens)
+        with pytest.raises(LiquidationError):
+            market.liquidate(KEEPER, BORROWER, oracle, tokens)
+
+
+class TestForking:
+    def test_fork_isolates_liquidation(self, setup):
+        tokens, oracle, market = setup
+        oracle.set_price("WETH", 700.0)
+        forked_tokens = tokens.fork()
+        forked = market.fork(forked_tokens)
+        forked.liquidate(KEEPER, BORROWER, oracle, forked_tokens)
+        # Canonical market still has the position.
+        assert market.position(BORROWER).borrower == BORROWER
+
+    def test_fork_commit_applies(self, setup):
+        tokens, oracle, market = setup
+        oracle.set_price("WETH", 700.0)
+        forked_tokens = tokens.fork()
+        forked = market.fork(forked_tokens)
+        forked.liquidate(KEEPER, BORROWER, oracle, forked_tokens)
+        forked.commit()
+        forked_tokens.commit()
+        with pytest.raises(DefiError):
+            market.position(BORROWER)
+
+
+class TestValidation:
+    def test_bad_threshold_rejected(self):
+        tokens = TokenRegistry()
+        with pytest.raises(DefiError):
+            LendingMarket("x", tokens, liquidation_threshold=1.5)
+
+    def test_negative_bonus_rejected(self):
+        tokens = TokenRegistry()
+        with pytest.raises(DefiError):
+            LendingMarket("x", tokens, liquidation_bonus=-0.1)

@@ -1,0 +1,222 @@
+"""Integration tests: the paper's qualitative findings over a medium world.
+
+The medium world spans 70 days from the merge — enough to cover the PBS
+adoption ramp, the 2022-10-15 Manifold incident, the Eden mispromise, the
+2022-11-08 OFAC update, the 2022-11-10 timestamp bug, and the FTX spike.
+Every assertion mirrors a claim in the paper's evaluation; absolute
+magnitudes are world-scale dependent, directions and orderings are not.
+"""
+
+import statistics
+
+import pytest
+
+import repro.analysis as an
+from repro.analysis.adoption import identification_rule_breakdown
+from repro.analysis.censorship import overall_sanctioned_shares
+from repro.analysis.concentration import (
+    daily_hhi_series,
+    herfindahl_hirschman_index,
+)
+from repro.analysis.relays import multi_relay_share, relay_trust_table
+
+
+class TestAdoptionFindings:
+    def test_pbs_share_ramps_like_figure4(self, medium_dataset):
+        series = an.daily_pbs_share(medium_dataset)
+        early = statistics.mean(series.values[:5])
+        late = statistics.mean(series.values[-10:])
+        assert early < 0.5
+        assert late > 0.75
+        assert late > early + 0.25
+
+    def test_identification_rules_overlap(self, medium_dataset):
+        # Paper: 99.6% of PBS blocks relay-claimed, 92% with payment.
+        breakdown = identification_rule_breakdown(medium_dataset)
+        assert breakdown["relay_claimed"] > 0.95
+        assert breakdown["payment_convention"] > 0.85
+        # PBS blocks without a payment have the proposer as fee recipient.
+        assert breakdown["payment_missing_same_recipient"] > 0.9
+
+    def test_timestamp_bug_dip(self, medium_world):
+        # On 2022-11-10 proposers fell back to local production.
+        bug_day = medium_world.timeline.timestamp_bug_day
+        fallbacks = [
+            record
+            for record in medium_world.slot_records
+            if record.mode == "pbs-fallback"
+        ]
+        assert fallbacks
+        assert {record.day for record in fallbacks} == {bug_day}
+
+
+class TestBlockValueFindings:
+    def test_pbs_blocks_more_valuable(self, medium_dataset):
+        pbs, non_pbs = an.daily_block_value(medium_dataset)
+        assert pbs.mean() > 1.5 * non_pbs.mean()
+
+    def test_pbs_proposer_profits_higher(self, medium_dataset):
+        pbs, non_pbs = an.daily_proposer_profit(medium_dataset)
+        pbs_median = statistics.mean(pbs.p50)
+        non_median = statistics.mean(non_pbs.p50)
+        assert pbs_median > non_median
+
+    def test_pbs_blocks_fuller_and_steadier(self, medium_dataset):
+        pbs_mean, pbs_std, non_mean, non_std = an.daily_block_size(
+            medium_dataset
+        )
+        assert pbs_mean.mean() > non_mean.mean()
+        # PBS hovers above the 15M target; non-PBS sits below it.
+        assert pbs_mean.mean() > 15_000_000
+        assert non_mean.mean() < 15_000_000
+
+    def test_private_txs_concentrated_in_pbs(self, medium_dataset):
+        pbs, non_pbs = an.daily_private_tx_share(medium_dataset)
+        assert pbs.mean() > 2 * non_pbs.mean()
+
+
+class TestMevFindings:
+    def test_mev_concentrated_in_pbs(self, medium_dataset):
+        pbs, non_pbs = an.daily_mev_per_block(medium_dataset)
+        assert pbs.mean() > 5 * max(non_pbs.mean(), 1e-9)
+
+    def test_sandwiches_virtually_absent_from_non_pbs(self, medium_dataset):
+        _, non_pbs = an.daily_mev_per_block(medium_dataset, kind="sandwich")
+        assert non_pbs.mean() < 0.02
+
+    def test_liquidations_smallest_gap(self, medium_dataset):
+        # The paper: liquidations show the smallest PBS/non-PBS difference
+        # (price-oracle updates land in both block types).
+        sw_pbs, sw_non = an.daily_mev_per_block(medium_dataset, kind="sandwich")
+        liq_pbs, liq_non = an.daily_mev_per_block(
+            medium_dataset, kind="liquidation"
+        )
+        sandwich_ratio = sw_pbs.mean() / max(sw_non.mean(), 1e-9)
+        liq_ratio = liq_pbs.mean() / max(liq_non.mean(), 1e-9)
+        assert liq_ratio < sandwich_ratio
+
+    def test_mev_value_share_gap(self, medium_dataset):
+        pbs, non_pbs = an.daily_mev_value_share(medium_dataset)
+        assert pbs.mean() > 0.05
+        assert non_pbs.mean() < pbs.mean() / 3
+
+
+class TestRelayFindings:
+    def test_flashbots_dominates(self, medium_dataset):
+        shares = an.daily_relay_shares(medium_dataset)
+        flashbots = [day.get("Flashbots", 0.0) for day in shares.values()]
+        assert statistics.mean(flashbots) > 0.4
+
+    def test_relay_market_concentrated(self, medium_dataset):
+        series = daily_hhi_series(
+            "relay HHI", an.daily_relay_shares(medium_dataset)
+        )
+        # Paper: relay HHI always above the 0.15 concentration threshold.
+        assert min(series.values) > 0.15
+
+    def test_relay_concentration_declines(self, medium_dataset):
+        series = daily_hhi_series(
+            "relay HHI", an.daily_relay_shares(medium_dataset)
+        )
+        early = statistics.mean(series.values[:10])
+        late = statistics.mean(series.values[-10:])
+        assert late < early
+
+    def test_some_multi_relay_blocks(self, medium_dataset):
+        assert 0.0 < multi_relay_share(medium_dataset) < 0.3
+
+    def test_builder_hhi_lower_than_relay_hhi(self, medium_dataset):
+        relay_series = daily_hhi_series(
+            "relay", an.daily_relay_shares(medium_dataset)
+        )
+        builder_series = daily_hhi_series(
+            "builder", an.daily_builder_shares(medium_dataset)
+        )
+        assert builder_series.mean() < relay_series.mean()
+
+
+class TestRelayTrustFindings:
+    def test_most_relays_deliver_almost_everything(self, medium_dataset):
+        rows = relay_trust_table(medium_dataset)
+        healthy = [
+            row
+            for row in rows
+            if row.relay not in ("Manifold", "Eden") and row.blocks >= 5
+        ]
+        for row in healthy:
+            assert row.share_of_value_delivered > 0.99, row.relay
+
+    def test_eden_and_manifold_break_trust(self, medium_dataset):
+        rows = {row.relay: row for row in relay_trust_table(medium_dataset)}
+        assert rows["Eden"].share_of_value_delivered < 0.97
+        assert rows["Manifold"].share_of_value_delivered < 0.6
+
+    def test_aestus_never_overpromises(self, medium_dataset):
+        rows = {row.relay: row for row in relay_trust_table(medium_dataset)}
+        if "Aestus" in rows:  # launches on day 62; present in longer worlds
+            assert rows["Aestus"].share_over_promised_blocks == 0.0
+
+    def test_manifold_overpromises_most_often(self, medium_dataset):
+        rows = [
+            row for row in relay_trust_table(medium_dataset) if row.blocks >= 5
+        ]
+        worst = max(rows, key=lambda row: row.share_over_promised_blocks)
+        assert worst.relay == "Manifold"
+
+
+class TestBuilderFindings:
+    def test_top_builders_take_most_blocks(self, medium_dataset):
+        clusters = an.cluster_builders(medium_dataset)
+        total = sum(cluster.block_count for cluster in clusters)
+        top3 = sum(cluster.block_count for cluster in clusters[:3])
+        assert top3 / total > 0.5  # paper: top three > half of all blocks
+
+    def test_flat_margin_builders_low_variance(self, medium_dataset):
+        profits = an.builder_profit_distribution(medium_dataset)
+        flashbots = profits.get("Flashbots", [])
+        assert len(flashbots) > 10
+        assert statistics.pstdev(flashbots) < 0.01
+        assert 0 < statistics.mean(flashbots) < 0.002
+
+    def test_bloxroute_builders_subsidize(self, medium_dataset):
+        profits = an.builder_profit_distribution(medium_dataset)
+        bloxroute = profits.get("bloXroute (M)", [])
+        assert bloxroute
+        assert statistics.mean(bloxroute) < 0
+
+    def test_proposers_capture_most_value(self, medium_dataset):
+        builder_share, proposer_share = an.daily_profit_split(medium_dataset)
+        assert proposer_share.mean() > 0.9
+
+
+class TestCensorshipFindings:
+    def test_non_pbs_more_likely_sanctioned(self, medium_dataset):
+        shares = overall_sanctioned_shares(medium_dataset)
+        assert shares["non-PBS"] > 1.3 * shares["PBS"]
+
+    def test_compliant_relays_majority_early(self, medium_dataset):
+        series = an.daily_compliant_relay_share(medium_dataset)
+        assert statistics.mean(series.values[:15]) > 0.6
+
+    def test_compliant_relays_filter_better(self, medium_dataset):
+        rows = an.sanctioned_blocks_by_relay(medium_dataset)
+        compliant = [row.share for row in rows if row.is_compliant]
+        neutral = [
+            row.share for row in rows if not row.is_compliant and row.total_blocks > 10
+        ]
+        if compliant and neutral:
+            assert max(compliant) <= statistics.mean(neutral) + 0.02
+
+
+class TestIncidentArtifacts:
+    def test_binance_ankr_private_flow(self, medium_world, medium_dataset):
+        # In worlds covering December this shows in non-PBS private shares;
+        # the medium world ends before, so assert the machinery instead.
+        timeline = medium_world.timeline
+        start, _ = timeline.binance_ankr_days
+        if medium_world.config.num_days > start:
+            _, non_pbs = an.daily_private_tx_share(medium_dataset)
+            assert max(non_pbs.values) > 0
+        else:
+            ankr = medium_world.validators.by_entity("AnkrPool")
+            assert all(not validator.uses_mev_boost for validator in ankr)

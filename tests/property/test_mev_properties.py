@@ -1,0 +1,75 @@
+"""Property-based tests on MEV planning invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defi.amm import AmmExchange
+from repro.defi.tokens import TokenRegistry
+from repro.mev.arbitrage import find_arbitrage_cycles, plan_cycle_arbitrage
+
+
+def _two_pools(skew_bps: int):
+    tokens = TokenRegistry()
+    tokens.deploy("WETH")
+    tokens.deploy("USDC", 6)
+    amm = AmmExchange(tokens)
+    amm.register_pool("WETH", "USDC", 1_000 * 10**18, 1_500_000 * 10**6)
+    amm.register_pool(
+        "WETH",
+        "USDC",
+        1_000 * 10**18,
+        1_500_000 * 10**6 * (10_000 + skew_bps) // 10_000,
+        fee_bps=5,
+    )
+    return tokens, amm
+
+
+class TestArbitragePlanProperties:
+    @given(skew_bps=st.integers(min_value=-800, max_value=800))
+    @settings(max_examples=30, deadline=None)
+    def test_plan_profit_is_executable(self, skew_bps):
+        """Whenever the planner claims a profit, executing the hops on the
+        live pools realizes at least that profit (quotes are exact)."""
+        tokens, amm = _two_pools(skew_bps)
+        cycles = find_arbitrage_cycles(amm)
+        trader = "0x" + "11" * 20
+        tokens.mint("WETH", trader, 10**24)
+        tokens.mint("USDC", trader, 10**18)
+        for cycle in cycles:
+            plan = plan_cycle_arbitrage(amm, cycle, max_input=10**22)
+            if plan is None:
+                continue
+            assert plan.profit > 0
+            amount = plan.amount_in
+            token = "WETH"
+            for pool_id, token_in, amount_in, planned_out in plan.hops:
+                assert token_in == token
+                out, _ = amm.swap(
+                    pool_id, trader, token_in, amount_in, 0, tokens
+                )
+                assert out >= planned_out  # plan never over-promises
+                token = amm.pool(pool_id).other_token(token_in)
+                amount = out
+            assert token == "WETH"
+            assert amount - plan.amount_in >= plan.profit
+
+    @given(
+        skew_bps=st.integers(min_value=50, max_value=800),
+        cap=st.integers(min_value=10**15, max_value=10**21),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_budget_cap_respected(self, skew_bps, cap):
+        _, amm = _two_pools(skew_bps)
+        for cycle in find_arbitrage_cycles(amm):
+            plan = plan_cycle_arbitrage(amm, cycle, max_input=cap)
+            if plan is not None:
+                assert plan.amount_in <= cap
+
+    @given(skew_bps=st.integers(min_value=-15, max_value=15))
+    @settings(max_examples=20, deadline=None)
+    def test_no_phantom_arbitrage_when_fees_dominate(self, skew_bps):
+        """Pools within the fee band never yield a profitable plan."""
+        _, amm = _two_pools(skew_bps)
+        for cycle in find_arbitrage_cycles(amm):
+            plan = plan_cycle_arbitrage(amm, cycle)
+            assert plan is None

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import REPORTS, build_parser, main
+
+FAST = ["--days", "4", "--blocks-per-day", "4", "--validators", "60"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.days == 30
+        assert args.export is None
+        assert not args.epbs
+
+    def test_report_only_parsing(self):
+        args = build_parser().parse_args(["report", "--only", "fig04,table4"])
+        assert args.only == "fig04,table4"
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "blocks:" in out
+        assert "PBS share" in out
+
+    def test_simulate_exports(self, tmp_path, capsys):
+        assert main(["simulate", *FAST, "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "blocks.csv").exists()
+        assert (tmp_path / "inventory.json").exists()
+
+    def test_inventory(self, capsys):
+        assert main(["inventory", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "OFAC addresses" in out
+        assert "Table 1" in out
+
+    def test_report_selected(self, capsys):
+        assert main(["report", *FAST, "--only", "fig04,table4"]) == 0
+        out = capsys.readouterr().out
+        assert "== fig04 ==" in out
+        assert "== table4 ==" in out
+
+    def test_report_rejects_unknown(self, capsys):
+        assert main(["report", *FAST, "--only", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown reports" in err
+
+    def test_report_all_known_names_registered(self):
+        from repro.cli import _REPORT_RUNNERS
+
+        assert set(REPORTS) <= set(_REPORT_RUNNERS)
+
+    def test_epbs_flag(self, capsys):
+        assert main(["simulate", *FAST, "--epbs"]) == 0

@@ -1,0 +1,123 @@
+"""Unit tests for the copy-on-write dict."""
+
+import pytest
+
+from repro.cow import CowDict
+
+
+class TestBasics:
+    def test_set_get(self):
+        d = CowDict()
+        d["a"] = 1
+        assert d["a"] == 1
+        assert d.get("a") == 1
+
+    def test_get_default(self):
+        d = CowDict()
+        assert d.get("missing") is None
+        assert d.get("missing", 7) == 7
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            CowDict()["nope"]
+
+    def test_contains(self):
+        d = CowDict()
+        d["a"] = 1
+        assert "a" in d
+        assert "b" not in d
+
+    def test_delete(self):
+        d = CowDict()
+        d["a"] = 1
+        del d["a"]
+        assert "a" not in d
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            del CowDict()["a"]
+
+    def test_len_and_iter(self):
+        d = CowDict()
+        d["a"] = 1
+        d["b"] = 2
+        assert len(d) == 2
+        assert sorted(d) == ["a", "b"]
+        assert dict(d.items()) == {"a": 1, "b": 2}
+
+
+class TestForking:
+    def test_fork_reads_parent(self):
+        parent = CowDict()
+        parent["a"] = 1
+        child = parent.fork()
+        assert child["a"] == 1
+
+    def test_child_write_does_not_leak(self):
+        parent = CowDict()
+        parent["a"] = 1
+        child = parent.fork()
+        child["a"] = 2
+        child["b"] = 3
+        assert parent["a"] == 1
+        assert "b" not in parent
+
+    def test_commit_merges(self):
+        parent = CowDict()
+        parent["a"] = 1
+        child = parent.fork()
+        child["a"] = 2
+        child["b"] = 3
+        child.commit()
+        assert parent["a"] == 2
+        assert parent["b"] == 3
+
+    def test_commit_root_raises(self):
+        with pytest.raises(ValueError):
+            CowDict().commit()
+
+    def test_tombstone_shadows_parent(self):
+        parent = CowDict()
+        parent["a"] = 1
+        child = parent.fork()
+        del child["a"]
+        assert "a" not in child
+        assert "a" in parent
+
+    def test_tombstone_commit_deletes_in_parent(self):
+        parent = CowDict()
+        parent["a"] = 1
+        child = parent.fork()
+        del child["a"]
+        child.commit()
+        assert "a" not in parent
+
+    def test_deep_fork_chain(self):
+        root = CowDict()
+        root["x"] = 0
+        layers = [root]
+        for i in range(5):
+            child = layers[-1].fork()
+            child[f"k{i}"] = i
+            layers.append(child)
+        deepest = layers[-1]
+        assert deepest["x"] == 0
+        assert len(deepest) == 6
+
+    def test_keys_respect_tombstones_across_layers(self):
+        root = CowDict()
+        root["a"] = 1
+        root["b"] = 2
+        child = root.fork()
+        del child["a"]
+        grandchild = child.fork()
+        grandchild["c"] = 3
+        assert sorted(grandchild.keys()) == ["b", "c"]
+
+    def test_reassign_after_tombstone(self):
+        root = CowDict()
+        root["a"] = 1
+        child = root.fork()
+        del child["a"]
+        child["a"] = 9
+        assert child["a"] == 9
