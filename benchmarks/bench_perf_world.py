@@ -1,0 +1,206 @@
+"""Perf trajectory benchmark: world build throughput and cache economics.
+
+Measures, in one process and therefore one environment:
+
+1. **Seed baseline** — the world built with every PR-1 optimization
+   disabled (no shared execution cache, eager protocol forks, no engine
+   fast path, one build worker), which reproduces the seed revision's
+   execution path.
+2. **Optimized cold** — the same world with the shared per-slot
+   execution cache, lazy protocol forks, the engine fast path and
+   ``build_workers`` warm-pass threads.
+3. **Optimized warm** — the steady-state benchmark-session cost: the
+   collected study dataset loaded from the persistent artifact cache
+   (:mod:`repro.perf.artifacts`), which is how ``benchmarks/conftest.py``
+   obtains the world's dataset on every session after the first.
+
+Both simulations must produce bit-identical digests — the speedups are
+only meaningful because the optimized world is *the same world*.
+
+Emits ``BENCH_perf.json`` at the repo root:
+
+- ``speedup_vs_seed_baseline`` — headline: seed-baseline build seconds
+  over the optimized benchmark-session world acquisition (warm artifact
+  load), i.e. the full three-layer stack versus the seed behaviour of
+  rebuilding from scratch every session.
+- ``cold_sim_speedup`` — the cold simulation-only speedup (shared
+  execution + cache + workers, no artifact reuse).
+- blocks/sec for each mode, the builder-phase share of the slot loop,
+  and execution-cache hit rates.
+
+Run directly for the full benchmark scale, or scaled down::
+
+    PYTHONPATH=src python benchmarks/bench_perf_world.py --days 2 --blocks 8 --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datasets import collect_study_dataset
+from repro.perf.artifacts import (
+    config_content_hash,
+    load_study_artifact,
+    save_study_artifact,
+)
+from repro.simulation import SimulationConfig, build_world
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_DEFAULT_OUT = _REPO_ROOT / "BENCH_perf.json"
+
+
+def seed_baseline_config(optimized: SimulationConfig) -> SimulationConfig:
+    """The same scenario with every PR-1 optimization switched off."""
+    return dataclasses.replace(
+        optimized,
+        enable_exec_cache=False,
+        eager_protocol_forks=True,
+        engine_fast_path=False,
+        build_workers=1,
+    )
+
+
+def _timed_build(config: SimulationConfig):
+    start = time.perf_counter()
+    world = build_world(config).run()
+    return world, time.perf_counter() - start
+
+
+def run_benchmark(
+    num_days: int,
+    blocks_per_day: int,
+    workers: int,
+    cache_dir: Path | None = None,
+) -> dict:
+    """Run all three measurements and return the JSON-ready payload."""
+    optimized_cfg = SimulationConfig(
+        seed=7,
+        num_days=num_days,
+        blocks_per_day=blocks_per_day,
+        build_workers=workers,
+    )
+    baseline_cfg = seed_baseline_config(optimized_cfg)
+
+    baseline_world, baseline_secs = _timed_build(baseline_cfg)
+    optimized_world, optimized_secs = _timed_build(optimized_cfg)
+
+    baseline_digest = baseline_world.digest()
+    optimized_digest = optimized_world.digest()
+    if baseline_digest != optimized_digest:
+        raise RuntimeError(
+            "optimized world diverged from the seed baseline: "
+            f"{optimized_digest[:16]} != {baseline_digest[:16]}"
+        )
+
+    # Steady-state benchmark session: dataset comes from the artifact
+    # cache instead of a rebuild.  Collection itself is part of the first
+    # (cold) session, so it is measured separately from the load.
+    collect_start = time.perf_counter()
+    dataset = collect_study_dataset(optimized_world)
+    collect_secs = time.perf_counter() - collect_start
+    save_study_artifact(optimized_cfg, dataset, cache_dir)
+    warm_start = time.perf_counter()
+    loaded = load_study_artifact(optimized_cfg, cache_dir)
+    warm_secs = time.perf_counter() - warm_start
+    if loaded is None:
+        raise RuntimeError("artifact cache failed to round-trip the dataset")
+
+    blocks = sum(1 for _ in optimized_world.chain)
+    perf = optimized_world.perf
+    hits = perf.count("exec_cache_hits")
+    misses = perf.count("exec_cache_misses")
+    lookups = hits + misses
+
+    payload = {
+        "scale": {
+            "num_days": num_days,
+            "blocks_per_day": blocks_per_day,
+            "build_workers": workers,
+            "blocks": blocks,
+        },
+        "digest": optimized_digest[:16],
+        "digests_equal": True,
+        "config_hash": config_content_hash(optimized_cfg),
+        "seed_baseline": {
+            "description": (
+                "seed execution path: no exec cache, eager protocol "
+                "forks, no engine fast path, 1 build worker"
+            ),
+            "seconds": round(baseline_secs, 3),
+            "blocks_per_second": round(blocks / baseline_secs, 2),
+        },
+        "optimized_cold": {
+            "seconds": round(optimized_secs, 3),
+            "blocks_per_second": round(blocks / optimized_secs, 2),
+            "builder_phase_share": round(
+                perf.share("builder_phase", "slot_loop"), 3
+            ),
+            "exec_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+            },
+            "dataset_collection_seconds": round(collect_secs, 3),
+        },
+        "optimized_warm": {
+            "description": (
+                "benchmark-session world acquisition after the first "
+                "run: the collected dataset loads from the artifact "
+                "cache instead of re-simulating"
+            ),
+            "seconds": round(warm_secs, 4),
+            "blocks_per_second": round(blocks / warm_secs, 2)
+            if warm_secs > 0
+            else None,
+        },
+        "speedup_vs_seed_baseline": round(baseline_secs / warm_secs, 1)
+        if warm_secs > 0
+        else None,
+        "cold_sim_speedup": round(baseline_secs / optimized_secs, 2),
+    }
+    return payload
+
+
+# -- pytest smoke test ------------------------------------------------------
+
+
+def test_perf_world_smoke(tmp_path):
+    """Tiny-scale end-to-end run: digests equal, artifact round-trips."""
+    payload = run_benchmark(
+        num_days=2, blocks_per_day=6, workers=2, cache_dir=tmp_path
+    )
+    assert payload["digests_equal"] is True
+    assert payload["scale"]["blocks"] > 0
+    assert payload["optimized_warm"]["seconds"] >= 0.0
+    assert payload["cold_sim_speedup"] > 0.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=198)
+    parser.add_argument("--blocks", type=int, default=40)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=_DEFAULT_OUT)
+    parser.add_argument(
+        "--tmp-cache",
+        action="store_true",
+        help="use a throwaway artifact cache dir (CI smoke runs)",
+    )
+    args = parser.parse_args()
+
+    cache_dir = None
+    if args.tmp_cache:
+        cache_dir = Path(tempfile.mkdtemp(prefix="repro-artifact-"))
+    payload = run_benchmark(args.days, args.blocks, args.workers, cache_dir)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,12 @@
 The full-study world (198 days from the merge through 2023-03-31) is built
 once per session; every benchmark then times its analysis over the same
 collected dataset and prints the table/figure it reproduces.
+
+The collected dataset is additionally cached on disk keyed by a content
+hash of ``BENCHMARK_CONFIG`` (see :mod:`repro.perf.artifacts`), so
+benchmark sessions with an unchanged config skip the multi-minute world
+build entirely.  Benches that need the live ``study_world`` (not just the
+dataset) still trigger a build on demand.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import collect_study_dataset
+from repro.perf.artifacts import load_study_artifact, save_study_artifact
 from repro.simulation import SimulationConfig, build_world
 
 # The full measurement window at benchmark scale.  ~40 blocks/day keeps the
@@ -25,6 +32,16 @@ def study_world():
 
 
 @pytest.fixture(scope="session")
-def study(study_world):
-    """The collected study dataset the analyses consume."""
-    return collect_study_dataset(study_world)
+def study(request):
+    """The collected study dataset the analyses consume.
+
+    Loads the on-disk artifact when one matches ``BENCHMARK_CONFIG``;
+    otherwise simulates the world, collects the dataset and saves the
+    artifact for the next session.
+    """
+    cached = load_study_artifact(BENCHMARK_CONFIG)
+    if cached is not None:
+        return cached
+    dataset = collect_study_dataset(request.getfixturevalue("study_world"))
+    save_study_artifact(BENCHMARK_CONFIG, dataset)
+    return dataset

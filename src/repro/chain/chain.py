@@ -7,6 +7,7 @@ Erigon plays in the paper's data collection.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 from ..constants import INITIAL_BASE_FEE_WEI, MAX_BLOCK_GAS
@@ -107,6 +108,41 @@ class Chain:
             return self._results[block_hash]
         except KeyError:
             raise ChainError(f"no execution result for {block_hash}") from None
+
+    # -- integrity ---------------------------------------------------------
+
+    def digest(self) -> str:
+        """A stable hex digest over every block and execution artefact.
+
+        Covers block hashes (and hence headers plus transaction ordering)
+        as well as receipts, logs, traces and fee accounting, so any
+        divergence in execution — not just in block structure — changes
+        the digest.  The determinism regression tests compare digests
+        across runs and worker counts.
+        """
+        hasher = hashlib.sha256()
+        for block in self._blocks:
+            hasher.update(block.block_hash.encode())
+            result = self._results[block.block_hash]
+            for outcome in result.outcomes:
+                receipt = outcome.receipt
+                hasher.update(
+                    f"{receipt.tx_hash}|{receipt.tx_index}|{receipt.status}|"
+                    f"{receipt.gas_used}|{receipt.effective_gas_price}".encode()
+                )
+                for log in receipt.logs:
+                    hasher.update(repr(log).encode())
+                for frame in outcome.trace.frames:
+                    hasher.update(repr(frame).encode())
+                hasher.update(
+                    f"{outcome.burned_wei}|{outcome.priority_fee_wei}|"
+                    f"{outcome.direct_tip_wei}".encode()
+                )
+            hasher.update(
+                f"{result.gas_used}|{result.burned_wei}|"
+                f"{result.priority_fees_wei}|{len(result.dropped)}".encode()
+            )
+        return hasher.hexdigest()
 
     # -- aggregate stats used by dataset collection ------------------------
 

@@ -64,6 +64,10 @@ class NullProtocols:
     def commit(self) -> None:  # pragma: no cover - nothing to merge
         return None
 
+    def recording_fork(self, log) -> "NullProtocols":
+        # Pure-ETH workloads have no protocol reads or writes to record.
+        return self
+
     def execute_action(
         self, action: object, sender: Address, state: WorldState
     ) -> tuple[list[Log], list[CallFrame]]:
@@ -127,7 +131,15 @@ class BlockExecutionResult:
 
 
 class ExecutionEngine:
-    """Executes transactions and blocks against an execution context."""
+    """Executes transactions and blocks against an execution context.
+
+    ``fast_single_action=False`` disables the single-action in-place
+    execution path, restoring fork-per-transaction semantics; the perf
+    benchmark uses it to reproduce the pre-optimization baseline.
+    """
+
+    def __init__(self, fast_single_action: bool = True) -> None:
+        self._fast_single_action = fast_single_action
 
     def execute_transaction(
         self,
@@ -169,7 +181,18 @@ class ExecutionEngine:
 
         frames: list[CallFrame] = []
         logs: list[Log] = []
-        action_ctx = ctx.fork()
+        # A lone ETH transfer or coinbase tip is already atomic (the debit
+        # raises before anything is written), so the speculative action
+        # fork — which exists to revert partially-applied action lists —
+        # buys nothing; executing in place skips a fork+commit per tx.
+        if (
+            self._fast_single_action
+            and len(tx.actions) == 1
+            and isinstance(tx.actions[0], (EthTransfer, TipCoinbase))
+        ):
+            action_ctx = ctx
+        else:
+            action_ctx = ctx.fork()
         status = STATUS_SUCCESS
         try:
             for action in tx.actions:
@@ -183,7 +206,8 @@ class ExecutionEngine:
             frames = []
             logs = []
         else:
-            action_ctx.commit()
+            if action_ctx is not ctx:
+                action_ctx.commit()
 
         receipt = Receipt(
             tx_hash=tx.tx_hash,

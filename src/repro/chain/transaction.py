@@ -9,6 +9,7 @@ measurement code runs unchanged over the simulated chain.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 
@@ -126,9 +127,13 @@ class Transaction:
         if self.extra_gas < 0:
             raise ConfigError(f"negative extra gas for {self.tx_hash}")
 
-    @property
+    @functools.cached_property
     def gas_limit(self) -> Gas:
-        """Total gas consumed if every action executes (our model is exact)."""
+        """Total gas consumed if every action executes (our model is exact).
+
+        Cached: block assembly checks it against the gas budget for every
+        candidate in every builder's pass.
+        """
         return (
             INTRINSIC_GAS
             + sum(action.gas_cost for action in self.actions)

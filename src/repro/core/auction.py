@@ -8,12 +8,14 @@ signed block (or the local fallback) becomes the slot's outcome.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..beacon.validator import Validator
 from ..chain.block import Block
 from ..chain.execution import BlockExecutionResult, ExecutionContext
 from ..chain.validation import validate_header
+from ..perf.parallel import warm_builder_caches
 from .builder import BlockBuilder, BuilderSubmission
 from .context import SlotContext
 from .mev_boost import MevBoostClient
@@ -64,8 +66,11 @@ class SlotAuction:
         active_builders: list[str],
     ) -> SlotOutcome:
         """Produce this slot's block through PBS or local building."""
-        self._collect_submissions(ctx, proposer, active_builders)
-        outcome = self._propose(ctx, proposer)
+        perf = ctx.perf
+        with perf.timer("builder_phase") if perf else nullcontext():
+            self._collect_submissions(ctx, proposer, active_builders)
+        with perf.timer("proposer_phase") if perf else nullcontext():
+            outcome = self._propose(ctx, proposer)
         for relay in self.relays.values():
             relay.drop_slot(ctx.slot)
         return outcome
@@ -78,11 +83,19 @@ class SlotAuction:
         proposer: Validator,
         active_builders: list[str],
     ) -> list[BuilderSubmission]:
+        ordered = [
+            builder
+            for builder in (self.builders.get(name) for name in active_builders)
+            if builder is not None
+        ]
+        # Concurrently pre-populate the slot's execution cache; the real
+        # builds below stay sequential in active-builder order so the
+        # slot's shared RNG stream is consumed identically at any worker
+        # count (the submissions relays see are already name-deterministic
+        # because active_builders is).
+        warm_builder_caches(ctx, ordered, proposer)
         submissions: list[BuilderSubmission] = []
-        for name in active_builders:
-            builder = self.builders.get(name)
-            if builder is None:
-                continue
+        for builder in ordered:
             submission = builder.build(ctx, proposer)
             if submission is None:
                 continue

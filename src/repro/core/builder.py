@@ -212,6 +212,12 @@ class BlockBuilder:
     def _gather_candidates(
         self, ctx: SlotContext
     ) -> tuple[list[Bundle], list[Transaction]]:
+        """This slot's candidates, computed once and memoized on the ctx."""
+        return ctx.gathered_candidates(self)
+
+    def _compute_candidates(
+        self, ctx: SlotContext
+    ) -> tuple[list[Bundle], list[Transaction]]:
         """Bundles (deduped by conflict key, best bid first) and loose txs."""
         bundles = sorted(
             ctx.bundles_for(self.name),
@@ -267,36 +273,56 @@ class BlockBuilder:
                 continue
             self._try_bundle(bundle, fork, ctx, fee_recipient, result)
 
+        # The loose-transaction loop is the hottest code in the simulation
+        # (every builder, every slot, hundreds of candidates): keep the
+        # running totals in locals and write them back once at the end.
         included_hashes = {tx.tx_hash for tx in result.included}
+        included = result.included
+        outcomes = result.outcomes
+        gas_used = result.gas_used
+        burned_wei = result.burned_wei
+        priority_fees_wei = result.priority_fees_wei
+        direct_transfers_wei = result.direct_transfers_wei
+        execute_tx = ctx.execute_tx
+        tx_involves = ctx.tx_involves
+        rng_random = ctx.rng.random
+        # Risk aversion only applies to builders that do not already censor.
+        risk_aversion = (
+            0.0 if self.self_censors else self.sanctioned_risk_aversion
+        )
         for tx in loose:
-            if tx.tx_hash in included_hashes:
+            tx_hash = tx.tx_hash
+            if tx_hash in included_hashes:
                 continue
-            if result.gas_used + tx.gas_limit > gas_budget:
+            if gas_used + tx.gas_limit > gas_budget:
                 continue
-            if blocked and tx_statically_involves(tx, blocked, blocked_tokens):
+            if blocked and tx_involves(tx, blocked, blocked_tokens):
                 continue
             if (
-                not self.self_censors
-                and self.sanctioned_risk_aversion > 0
-                and ctx.rng.random() < self.sanctioned_risk_aversion
+                risk_aversion > 0
+                and rng_random() < risk_aversion
                 and tx_statically_involves(
                     tx, ctx.current_sanctioned_addresses()
                 )
             ):
                 continue
             try:
-                outcome = ctx.engine.execute_transaction(
-                    tx, fork, ctx.base_fee, fee_recipient, tx_index=len(result.included)
+                outcome = execute_tx(
+                    tx, fork, fee_recipient, tx_index=len(included)
                 )
             except Exception:
                 continue
-            result.included.append(tx)
-            result.outcomes.append(outcome)
-            result.gas_used += outcome.receipt.gas_used
-            result.burned_wei += outcome.burned_wei
-            result.priority_fees_wei += outcome.priority_fee_wei
-            result.direct_transfers_wei += outcome.direct_tip_wei
-            included_hashes.add(tx.tx_hash)
+            included.append(tx)
+            outcomes.append(outcome)
+            gas_used += outcome.receipt.gas_used
+            burned_wei += outcome.burned_wei
+            priority_fees_wei += outcome.priority_fee_wei
+            direct_transfers_wei += outcome.direct_tip_wei
+            included_hashes.add(tx_hash)
+        result.gas_used = gas_used
+        result.burned_wei = burned_wei
+        result.priority_fees_wei = priority_fees_wei
+        result.direct_transfers_wei = direct_transfers_wei
 
         if not result.included:
             return None
@@ -414,10 +440,9 @@ class BlockBuilder:
         outcomes = []
         for tx in bundle.txs:
             try:
-                outcome = ctx.engine.execute_transaction(
+                outcome = ctx.execute_tx(
                     tx,
                     bundle_fork,
-                    ctx.base_fee,
                     fee_recipient,
                     tx_index=len(result.included) + len(outcomes),
                 )

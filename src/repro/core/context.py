@@ -4,22 +4,44 @@ Bundles everything one slot of block production needs: canonical execution
 context (to fork), fee-market parameters, mempool and private order flow,
 searcher bundles routed per builder, the sanctions list, and the slot's
 deterministic RNG stream.
+
+The context is also the seam for the slot's shared performance machinery:
+the per-slot :class:`~repro.chain.exec_cache.ExecutionCache` (so builders
+re-executing the same candidates reuse outcomes), the per-builder gathered
+candidate lists (computed once per slot), and the optional worker pool the
+cache-warming pass uses when ``build_workers > 1``.  All of it is
+deterministic-by-construction: routing execution through the context must
+never change a world's bit-identical outcome.
 """
 
 from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..chain.execution import ExecutionContext, ExecutionEngine
-from ..chain.transaction import TransactionFactory
+from ..chain.execution import (
+    BlockExecutionResult,
+    ExecutionContext,
+    ExecutionEngine,
+    TxOutcome,
+)
+from ..chain.transaction import Transaction, TransactionFactory
+from ..errors import ExecutionError, InsufficientBalanceError
 from ..mempool.pool import SharedMempool
 from ..mempool.private import PrivateOrderFlow
 from ..mev.bundles import Bundle
 from ..sanctions.ofac import SanctionsList
-from ..types import Hash, Wei
+from ..sanctions.screening import tx_statically_involves
+from ..types import Address, Hash, Wei
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chain.exec_cache import ExecutionCache
+    from ..perf.metrics import PerfRegistry
+    from ..perf.parallel import BuildWorkerPool
+    from .builder import BlockBuilder
 
 
 @dataclass
@@ -45,6 +67,16 @@ class SlotContext:
     tx_factory: TransactionFactory
     # Wall-clock moment builders stop pulling from the mempool.
     build_cutoff_time: float = 0.0
+    # Shared per-slot memo of execution outcomes (None disables it).
+    exec_cache: "ExecutionCache | None" = None
+    # Builder-phase worker configuration (1 = fully sequential).
+    build_workers: int = 1
+    worker_pool: "BuildWorkerPool | None" = None
+    perf: "PerfRegistry | None" = None
+    # Per-builder (bundles, loose txs) lists, gathered once per slot.
+    _gather_cache: dict = field(default_factory=dict, repr=False)
+    # Per-slot memo of static sanctions screening verdicts.
+    _involves_cache: dict = field(default_factory=dict, repr=False)
 
     def bundles_for(self, builder_name: str) -> list[Bundle]:
         return list(self.bundles_by_builder.get(builder_name, []))
@@ -56,3 +88,92 @@ class SlotContext:
             cached = self.sanctions.addresses_as_of(self.date)
             self._sanctioned_cache = cached
         return cached
+
+    def tx_involves(
+        self, tx: Transaction, blocked: frozenset, blocked_tokens: frozenset
+    ) -> bool:
+        """Memoized ``tx_statically_involves`` for this slot.
+
+        The OFAC lookups return one frozenset per date, so ``id()`` is a
+        stable cache key here; every censoring builder screening the same
+        public flow then shares a single verdict per transaction.
+        """
+        key = (tx.tx_hash, id(blocked), id(blocked_tokens))
+        verdict = self._involves_cache.get(key)
+        if verdict is None:
+            verdict = tx_statically_involves(tx, blocked, blocked_tokens)
+            self._involves_cache[key] = verdict
+        return verdict
+
+    # -- shared speculative execution --------------------------------------
+
+    def gathered_candidates(
+        self, builder: "BlockBuilder"
+    ) -> tuple[list[Bundle], list[Transaction]]:
+        """This builder's (bundles, loose) candidates, computed once a slot.
+
+        The lists are deterministic for a given slot and must be treated
+        as read-only: the warm pass and the real build share them.
+        """
+        entry = self._gather_cache.get(builder.name)
+        if entry is None:
+            entry = builder._compute_candidates(self)
+            self._gather_cache[builder.name] = entry
+        return entry
+
+    def execute_tx(
+        self,
+        tx: Transaction,
+        fork: ExecutionContext,
+        fee_recipient: Address,
+        tx_index: int = 0,
+    ) -> TxOutcome:
+        """Execute through the slot's shared cache when one is enabled.
+
+        Raises exactly what ``engine.execute_transaction`` would raise and
+        applies bit-identical effects to ``fork`` either way.
+        """
+        if self.exec_cache is not None:
+            return self.exec_cache.execute(
+                self.engine,
+                tx,
+                fork,
+                self.base_fee,
+                fee_recipient,
+                tx_index=tx_index,
+            )
+        return self.engine.execute_transaction(
+            tx, fork, self.base_fee, fee_recipient, tx_index=tx_index
+        )
+
+    def execute_block(
+        self,
+        transactions: Sequence[Transaction],
+        fork: ExecutionContext,
+        fee_recipient: Address,
+        gas_limit: int,
+    ) -> BlockExecutionResult:
+        """Cache-aware mirror of ``engine.execute_block``."""
+        if self.exec_cache is None:
+            return self.engine.execute_block(
+                transactions, fork, self.base_fee, fee_recipient, gas_limit
+            )
+        result = BlockExecutionResult()
+        for tx in transactions:
+            if result.gas_used + tx.gas_limit > gas_limit:
+                result.dropped.append(tx.tx_hash)
+                continue
+            try:
+                outcome = self.execute_tx(
+                    tx, fork, fee_recipient, tx_index=len(result.included)
+                )
+            except (ExecutionError, InsufficientBalanceError):
+                result.dropped.append(tx.tx_hash)
+                continue
+            result.included.append(tx)
+            result.outcomes.append(outcome)
+            result.gas_used += outcome.receipt.gas_used
+            result.burned_wei += outcome.burned_wei
+            result.priority_fees_wei += outcome.priority_fee_wei
+            result.direct_transfers_wei += outcome.direct_tip_wei
+        return result

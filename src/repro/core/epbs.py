@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from ..beacon.validator import Validator
 from ..chain.validation import validate_header
+from ..perf.parallel import warm_builder_caches
 from .auction import MODE_FALLBACK, MODE_LOCAL, SlotAuction, SlotOutcome
 from .builder import BlockBuilder, BuilderSubmission
 from .context import SlotContext
@@ -51,11 +52,14 @@ class EnshrinedPBSAuction(SlotAuction):
         Every proposer participates (the scheme is enshrined, not opt-in);
         local building remains only as the no-bids fallback.
         """
+        ordered = [
+            builder
+            for builder in (self.builders.get(name) for name in active_builders)
+            if builder is not None
+        ]
+        warm_builder_caches(ctx, ordered, proposer)
         submissions: list[BuilderSubmission] = []
-        for name in active_builders:
-            builder = self.builders.get(name)
-            if builder is None:
-                continue
+        for builder in ordered:
             submission = builder.build(ctx, proposer)
             if submission is not None:
                 submissions.append(submission)

@@ -72,6 +72,14 @@ def _detect_builder_payment(block, proposer_fee_recipient) -> Wei:
 
 def collect_study_dataset(world) -> StudyDataset:
     """Crawl a finished :class:`~repro.simulation.world.World`."""
+    perf = getattr(world, "perf", None)
+    if perf is not None:
+        with perf.timer("collection"):
+            return _collect_study_dataset(world, perf)
+    return _collect_study_dataset(world, None)
+
+
+def _collect_study_dataset(world, perf) -> StudyDataset:
     chain: Chain = world.chain
     beacon: BeaconChain = world.beacon
 
@@ -93,9 +101,19 @@ def collect_study_dataset(world) -> StudyDataset:
         proposer = world.validators.by_index(record.proposer_index)
 
         mev.ingest_block(block, result.receipts, world.oracle)
-        sanctioned = tuple(
-            screener.screen_block(block, result.receipts, result.traces, record.date)
-        )
+        if perf is not None:
+            with perf.timer("screening"):
+                sanctioned = tuple(
+                    screener.screen_block(
+                        block, result.receipts, result.traces, record.date
+                    )
+                )
+        else:
+            sanctioned = tuple(
+                screener.screen_block(
+                    block, result.receipts, result.traces, record.date
+                )
+            )
 
         block_time = float(block.header.timestamp)
         private_hashes = frozenset(

@@ -20,6 +20,12 @@ from .tokens import TokenRegistry
 DEFAULT_FEE_BPS = 30  # Uniswap V2's 0.3%
 _BPS = 10_000
 
+# Last LiquidityPool snapshot built per pool id, shared across exchanges
+# and forks.  Snapshots are frozen, so handing the same object to every
+# caller that observes identical (spec, reserves) is safe; the spec
+# identity check keeps simultaneous simulations from colliding.
+_POOL_CACHE: dict[str, tuple[tuple[int, int], LiquidityPool, PoolSpec]] = {}
+
 
 @dataclass(frozen=True)
 class PoolSpec:
@@ -129,8 +135,20 @@ class AmmExchange:
             spec = self._specs[pool_id]
         except KeyError:
             raise DefiError(f"unknown pool {pool_id}") from None
-        reserve0, reserve1 = self._reserves[pool_id]
-        return LiquidityPool(spec=spec, reserve0=reserve0, reserve1=reserve1)
+        # Read the reserves unconditionally so recording forks still log
+        # the dependency even on a cache hit.
+        reserves = self._reserves[pool_id]
+        cached = _POOL_CACHE.get(pool_id)
+        if (
+            cached is not None
+            and cached[0] == reserves
+            and cached[2] is spec
+        ):
+            return cached[1]
+        reserve0, reserve1 = reserves
+        pool = LiquidityPool(spec=spec, reserve0=reserve0, reserve1=reserve1)
+        _POOL_CACHE[pool_id] = (reserves, pool, spec)
+        return pool
 
     def pool_ids(self) -> list[str]:
         return sorted(self._specs)

@@ -188,13 +188,17 @@ class LendingMarket:
     # -- forking -----------------------------------------------------------
 
     def fork(self, tokens: TokenRegistry) -> "LendingMarket":
-        child = LendingMarket(
-            self.market_id,
-            tokens,
-            liquidation_threshold=self.liquidation_threshold,
-            liquidation_bonus=self.liquidation_bonus,
-            parent=self,
-        )
+        # Bypass __init__: the market address is already derived and the
+        # thresholds already validated, and forks happen once per builder
+        # per slot, which made re-deriving the address a measured hotspot.
+        child = LendingMarket.__new__(LendingMarket)
+        child.market_id = self.market_id
+        child.address = self.address
+        child.liquidation_threshold = self.liquidation_threshold
+        child.liquidation_bonus = self.liquidation_bonus
+        child._tokens = tokens
+        child._positions = self._positions.fork()
+        child._parent = self
         return child
 
     def commit(self) -> None:

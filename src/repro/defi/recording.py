@@ -1,0 +1,198 @@
+"""Read-logging DeFi registries backing the execution cache's miss path.
+
+When :class:`~repro.chain.exec_cache.ExecutionCache` records a transaction
+it runs the engine against a recording overlay: reads that escape the
+overlay into the caller's context are logged (domain, key, observed value)
+and writes stay in the overlay's local layers, to be extracted afterwards
+as the variant's write set.
+
+Domains match :mod:`repro.chain.exec_cache`'s protocol conventions:
+
+* ``"t"`` — token balances, keyed by ``(symbol, holder)``
+* ``"r"`` — AMM reserves, keyed by pool id
+* ``"p:<market_id>"`` — lending positions, keyed by borrower
+
+A read of a missing key is logged with value ``None`` (no live protocol
+value is ever ``None``); a deletion is extracted as a ``None`` write.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cow import CowDict, _TOMBSTONE
+from ..errors import DefiError
+from ..types import Address
+from .amm import AmmExchange
+from .lending import LendingMarket
+from .registry import LazyDefiFork, _execute_action
+from .tokens import TokenRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chain.exec_cache import ReadLog
+    from ..chain.receipts import Log
+    from ..chain.state import WorldState
+    from ..chain.traces import CallFrame
+
+DOMAIN_TOKEN = "t"
+DOMAIN_RESERVE = "r"
+DOMAIN_POSITION_PREFIX = "p:"
+
+_MISSING = object()
+
+
+class RecordingCowDict(CowDict):
+    """A COW layer that logs reads escaping the recording boundary.
+
+    Reads satisfied inside the recording chain (this layer and any forks
+    taken above it during action execution) are internal; only the value
+    observed from the non-recording parent below enters the read set.
+    """
+
+    def __init__(self, parent: CowDict, log: "ReadLog", domain: str) -> None:
+        super().__init__(parent=parent)
+        self._log = log
+        self._domain = domain
+
+    def get(self, key, default=None):
+        node = self
+        while isinstance(node, RecordingCowDict):
+            if key in node._local:
+                value = node._local[key]
+                return default if value is _TOMBSTONE else value
+            node = node._parent
+        value = node.get(key, _MISSING) if node is not None else _MISSING
+        self._log.record(
+            self._domain, key, None if value is _MISSING else value
+        )
+        return default if value is _MISSING else value
+
+    def fork(self) -> "RecordingCowDict":
+        return RecordingCowDict(parent=self, log=self._log, domain=self._domain)
+
+
+class RecordingDefiProtocols:
+    """A registry whose components log external reads into a shared log.
+
+    Mirrors :class:`~repro.defi.registry.LazyDefiFork`'s lazy shape —
+    components wrap the *caller's current views* (never materializing the
+    caller's own forks) in :class:`RecordingCowDict` layers on first touch.
+    Never committed; the cache extracts its local layers as the write set.
+    """
+
+    __slots__ = ("_parent", "_log", "oracle", "_tokens", "_amm", "_markets")
+
+    def __init__(self, parent, log: "ReadLog") -> None:
+        self._parent = parent
+        self._log = log
+        self.oracle = parent.oracle
+        self._tokens: TokenRegistry | None = None
+        self._amm: AmmExchange | None = None
+        self._markets: dict[str, LendingMarket] = {}
+
+    # -- lazily materialized recording components --------------------------
+
+    @property
+    def tokens(self) -> TokenRegistry:
+        if self._tokens is None:
+            registry = TokenRegistry.__new__(TokenRegistry)
+            registry._tokens = self._parent.token_specs()
+            registry._balances = RecordingCowDict(
+                self._parent.balances_view(), self._log, DOMAIN_TOKEN
+            )
+            registry._parent = None
+            self._tokens = registry
+        return self._tokens
+
+    @property
+    def amm(self) -> AmmExchange:
+        if self._amm is None:
+            amm = AmmExchange.__new__(AmmExchange)
+            amm._tokens = self.tokens
+            amm._specs = self._parent.pool_specs()
+            amm._reserves = RecordingCowDict(
+                self._parent.reserves_view(), self._log, DOMAIN_RESERVE
+            )
+            amm._parent = None
+            self._amm = amm
+        return self._amm
+
+    def market(self, market_id: str) -> LendingMarket | None:
+        market = self._markets.get(market_id)
+        if market is None:
+            meta = self._parent.market_meta(market_id)
+            if meta is None:
+                return None
+            positions = self._parent.positions_view(market_id)
+            market = LendingMarket.__new__(LendingMarket)
+            market.market_id = meta.market_id
+            market.address = meta.address
+            market.liquidation_threshold = meta.liquidation_threshold
+            market.liquidation_bonus = meta.liquidation_bonus
+            market._tokens = self.tokens
+            market._positions = RecordingCowDict(
+                positions, self._log, DOMAIN_POSITION_PREFIX + market_id
+            )
+            market._parent = None
+            self._markets[market_id] = market
+        return market
+
+    # -- engine interface --------------------------------------------------
+
+    def execute_action(
+        self,
+        action: object,
+        sender: Address,
+        state: "WorldState",
+    ) -> tuple[list["Log"], list["CallFrame"]]:
+        return _execute_action(self, action, sender)
+
+    def fork(self) -> LazyDefiFork:
+        return LazyDefiFork(parent=self)
+
+    def commit(self) -> None:
+        raise DefiError("a recording registry is never committed")
+
+    # -- views (for forks layered on top of this registry) -----------------
+
+    def balances_view(self) -> CowDict:
+        return self.tokens._balances
+
+    def reserves_view(self) -> CowDict:
+        return self.amm._reserves
+
+    def positions_view(self, market_id: str) -> CowDict | None:
+        market = self.market(market_id)
+        return None if market is None else market._positions
+
+    def token_specs(self) -> dict:
+        return self._parent.token_specs()
+
+    def pool_specs(self) -> dict:
+        return self._parent.pool_specs()
+
+    def market_meta(self, market_id: str) -> LendingMarket | None:
+        return self._parent.market_meta(market_id)
+
+    # -- write-set extraction ----------------------------------------------
+
+    def extract_writes(self) -> list[tuple[str, object, object]]:
+        """(domain, key, value-or-None) triples left in the local layers."""
+        writes: list[tuple[str, object, object]] = []
+        if self._tokens is not None:
+            for key, value in self._tokens._balances._local.items():
+                writes.append(
+                    (DOMAIN_TOKEN, key, None if value is _TOMBSTONE else value)
+                )
+        if self._amm is not None:
+            for key, value in self._amm._reserves._local.items():
+                writes.append(
+                    (DOMAIN_RESERVE, key, None if value is _TOMBSTONE else value)
+                )
+        for market_id, market in self._markets.items():
+            domain = DOMAIN_POSITION_PREFIX + market_id
+            for key, value in market._positions._local.items():
+                writes.append(
+                    (domain, key, None if value is _TOMBSTONE else value)
+                )
+        return writes

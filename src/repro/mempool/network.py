@@ -57,6 +57,11 @@ class P2PNetwork:
         self._delays: dict[int, dict[int, float]] = dict(
             nx.all_pairs_dijkstra_path_length(self._graph, weight="latency")
         )
+        # The topology is immutable after construction, so the diameter is
+        # computed once instead of rescanning the all-pairs table per call.
+        self._diameter_seconds = max(
+            max(targets.values()) for targets in self._delays.values()
+        )
 
     def propagation_delay(self, origin: int, destination: int) -> float:
         """Seconds for a transaction gossiped at ``origin`` to reach ``destination``."""
@@ -74,7 +79,5 @@ class P2PNetwork:
         return int(rng.integers(0, self.node_count))
 
     def diameter_seconds(self) -> float:
-        """Worst-case propagation delay across the overlay."""
-        return max(
-            max(targets.values()) for targets in self._delays.values()
-        )
+        """Worst-case propagation delay across the overlay (precomputed)."""
+        return self._diameter_seconds

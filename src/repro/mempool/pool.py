@@ -75,10 +75,13 @@ class SharedMempool:
 
     def visible_to(self, node: int, now: float) -> list[Transaction]:
         """Transactions a node's mempool holds at time ``now``."""
+        # Inlined ``entry.visible_at``: this runs for every pending entry,
+        # for every builder, every slot.
+        delay = self._network.propagation_delay
         return [
             entry.tx
             for entry in self._entries.values()
-            if entry.visible_at(self._network, node) <= now
+            if entry.broadcast_time + delay(entry.origin_node, node) <= now
         ]
 
     def remove_included(self, tx_hashes: Iterable[Hash]) -> int:

@@ -59,6 +59,9 @@ class SlotView:
     # Local nonce allocation on top of the canonical state, so a searcher
     # can craft several transactions per slot without colliding.
     _nonce_offsets: dict[Address, int] = field(default_factory=dict)
+    # Shared memo for planning work that is identical across searchers
+    # looking at the same slot (e.g. the liquidation scan).
+    _plan_cache: dict = field(default_factory=dict)
 
     def next_nonce(self, address: Address) -> int:
         offset = self._nonce_offsets.get(address, 0)
@@ -267,9 +270,18 @@ class LiquidationSearcher(Searcher):
 
     def find_bundles(self, view: SlotView) -> list[Bundle]:
         bundles: list[Bundle] = []
-        plans = plan_liquidations(
-            view.markets, view.oracle, view.tokens, min_bonus_wei=self.min_bonus_wei
-        )
+        # Every liquidation searcher scans the same market snapshot, so the
+        # (deterministic) plan list is computed once per slot and shared.
+        cache_key = ("liquidations", self.min_bonus_wei)
+        plans = view._plan_cache.get(cache_key)
+        if plans is None:
+            plans = plan_liquidations(
+                view.markets,
+                view.oracle,
+                view.tokens,
+                min_bonus_wei=self.min_bonus_wei,
+            )
+            view._plan_cache[cache_key] = plans
         for plan in plans:
             if not self._spots(view):
                 continue

@@ -1,0 +1,35 @@
+"""Performance layer: instrumentation, parallel build seams, artifacts.
+
+This package hosts the cross-cutting performance machinery introduced by
+the parallel slot-auction work:
+
+* :mod:`repro.perf.metrics` — a lightweight timer/counter registry every
+  :class:`~repro.simulation.world.World` carries (``world.perf``).
+* :mod:`repro.perf.parallel` — the worker pool and the cache-warming
+  builder pass used when ``SimulationConfig.build_workers > 1``.
+* :mod:`repro.perf.artifacts` — the persistent study-dataset artifact
+  cache keyed by a :class:`~repro.simulation.config.SimulationConfig`
+  content hash.
+
+Everything here is deterministic-by-construction: enabling any of it must
+never change a simulated world's bit-identical outcome for a given seed.
+"""
+
+from .artifacts import (
+    config_content_hash,
+    default_cache_dir,
+    load_study_artifact,
+    save_study_artifact,
+)
+from .metrics import PerfRegistry
+from .parallel import BuildWorkerPool, warm_builder_caches
+
+__all__ = [
+    "BuildWorkerPool",
+    "PerfRegistry",
+    "config_content_hash",
+    "default_cache_dir",
+    "load_study_artifact",
+    "save_study_artifact",
+    "warm_builder_caches",
+]

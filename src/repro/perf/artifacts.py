@@ -1,0 +1,99 @@
+"""Persistent study-dataset artifacts keyed by a config content hash.
+
+Building and running a benchmark-scale world takes minutes; the collected
+:class:`~repro.datasets.collector.StudyDataset` it yields is a pure
+function of the :class:`~repro.simulation.config.SimulationConfig`.  This
+module caches that dataset on disk keyed by a content hash of the config,
+so benchmark sessions whose config is unchanged skip the simulation
+entirely (``benchmarks/conftest.py`` wires this up).
+
+Invalidation rule: the cache key is a hash of *every* config field, so any
+config change — including the seed — produces a new artifact file.  Code
+changes are guarded by ``ARTIFACT_FORMAT``: bump it whenever simulation
+semantics change so stale artifacts from older code are ignored.  Delete
+the cache directory at any time; it will simply be rebuilt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+#: Bump when simulation semantics change; old artifacts become unreadable.
+ARTIFACT_FORMAT = 1
+
+_CACHE_DIR_ENV = "REPRO_ARTIFACT_CACHE"
+
+
+def config_content_hash(config: Any) -> str:
+    """A stable hex hash of every field of a ``SimulationConfig``.
+
+    Fields are serialized by name in sorted order, so two configs hash
+    equal iff every field is equal, and dataclass field *ordering* changes
+    do not invalidate artifacts (adding, removing or changing a field
+    does).
+    """
+    payload = {
+        field.name: getattr(config, field.name)
+        for field in dataclasses.fields(config)
+    }
+    encoded = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(encoded.encode()).hexdigest()[:32]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_ARTIFACT_CACHE`` if set, else ``benchmarks/.artifact_cache``."""
+    override = os.environ.get(_CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / ".artifact_cache"
+
+
+def _artifact_path(cache_dir: Path, config_hash: str) -> Path:
+    return cache_dir / f"study-{config_hash}.pkl"
+
+
+def save_study_artifact(
+    config: Any, dataset: Any, cache_dir: Path | None = None
+) -> Path:
+    """Pickle ``dataset`` under the config's content hash; returns the path."""
+    cache_dir = cache_dir or default_cache_dir()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    config_hash = config_content_hash(config)
+    path = _artifact_path(cache_dir, config_hash)
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "config_hash": config_hash,
+        "dataset": dataset,
+    }
+    tmp_path = path.with_suffix(".tmp")
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, path)  # atomic: concurrent readers never see halves
+    return path
+
+
+def load_study_artifact(config: Any, cache_dir: Path | None = None) -> Any:
+    """The cached dataset for ``config``, or None on miss/stale/corrupt."""
+    cache_dir = cache_dir or default_cache_dir()
+    config_hash = config_content_hash(config)
+    path = _artifact_path(cache_dir, config_hash)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:
+        return None  # corrupt or unreadable: treat as a miss
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("format") != ARTIFACT_FORMAT:
+        return None
+    if payload.get("config_hash") != config_hash:
+        return None
+    return payload.get("dataset")

@@ -1,0 +1,61 @@
+"""Lightweight perf instrumentation: named timers and counters.
+
+A :class:`PerfRegistry` is attached to every world (``world.perf``) and
+threaded into the slot context so the auction layers can attribute time to
+phases (workload injection, bundle search, builder phase, proposer phase)
+without global state.  Overhead is one ``perf_counter`` pair per timed
+section, so it stays on even in production runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+
+class PerfRegistry:
+    """Accumulates named wall-clock timers and event counters."""
+
+    def __init__(self) -> None:
+        self.timers: dict[str, float] = defaultdict(float)
+        self.counters: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulates across calls)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] += perf_counter() - start
+
+    def add(self, name: str, count: int = 1) -> None:
+        self.counters[name] += count
+
+    def seconds(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def share(self, part: str, whole: str) -> float:
+        """Fraction of ``whole``'s time spent in ``part`` (0 when unknown)."""
+        total = self.timers.get(whole, 0.0)
+        if total <= 0.0:
+            return 0.0
+        return self.timers.get(part, 0.0) / total
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every timer and counter."""
+        return {
+            "timers_seconds": dict(self.timers),
+            "counters": dict(self.counters),
+        }
+
+    def merge(self, other: "PerfRegistry") -> None:
+        for name, value in other.timers.items():
+            self.timers[name] += value
+        for name, value in other.counters.items():
+            self.counters[name] += value

@@ -1,0 +1,143 @@
+"""The parallel builder phase: a worker pool plus a cache-warming pass.
+
+Builder RNG draws (risk aversion, bid policies, overclaiming) consume the
+slot's shared deterministic stream, so the *real* builder phase always
+runs sequentially in a fixed order — that is what makes a world
+bit-identical for a given seed.  What ``build_workers > 1`` parallelizes
+is a prior **warm pass**: worker threads speculatively execute each
+builder's candidate list through the slot's shared
+:class:`~repro.chain.exec_cache.ExecutionCache`, so that by the time the
+real sequential pass runs, almost every ``execute_transaction`` is a
+verified cache hit.
+
+The warm pass draws no randomness at all (risk-averse builders warm a
+superset of what they will really include) and only ever writes to
+thread-local speculative forks and the thread-safe cache, so results are
+worker-count-invariant by construction: the determinism regression test
+asserts identical chain digests for ``build_workers`` 1 and >1.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from ..beacon.validator import Validator
+from ..chain.execution import BlockExecutionResult
+from ..chain.transaction import INTRINSIC_GAS
+from ..sanctions.screening import tx_statically_involves
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.builder import BlockBuilder
+    from ..core.context import SlotContext
+
+
+class BuildWorkerPool:
+    """A lazily created, reusable thread pool for the warm pass."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+
+    def executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="build-worker"
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def warm_builder_caches(
+    ctx: "SlotContext",
+    builders: Sequence["BlockBuilder"],
+    proposer: Validator,
+) -> None:
+    """Concurrently pre-execute builder candidates into the slot cache.
+
+    A no-op unless the slot has a cache, a worker pool and more than one
+    builder to amortize across.  Purely an optimization: every outcome it
+    seeds is re-verified against the real context on cache hit, and any
+    warm-pass failure is swallowed — the sequential pass recomputes.
+    """
+    if ctx.exec_cache is None or ctx.worker_pool is None:
+        return
+    if ctx.build_workers <= 1 or len(builders) <= 1:
+        return
+    # Gather sequentially: deterministic, and the per-slot memo dict is
+    # then only read (never mutated) from worker threads.
+    tasks = []
+    for builder in builders:
+        bundles, loose = ctx.gathered_candidates(builder)
+        tasks.append((builder, bundles, loose))
+    executor = ctx.worker_pool.executor()
+    futures = [
+        executor.submit(_warm_one, ctx, builder, bundles, loose, proposer)
+        for builder, bundles, loose in tasks
+    ]
+    for future in futures:
+        future.result()
+
+
+def _warm_one(
+    ctx: "SlotContext",
+    builder: "BlockBuilder",
+    bundles,
+    loose,
+    proposer: Validator,
+) -> None:
+    """Mirror one builder's greedy packing, without RNG or side effects.
+
+    Follows ``BlockBuilder.build`` closely enough that the speculative
+    fork tracks the state the real build will see (so recorded read sets
+    match), but consumes no randomness: the risk-aversion coin flip is
+    skipped, warming a superset of the real inclusion set.  The payment
+    transaction is builder-specific and never cached, so it is skipped.
+    """
+    try:
+        blocked = builder._blocked_addresses(ctx)
+        blocked_tokens = builder._blocked_tokens(ctx)
+        fee_recipient = (
+            proposer.fee_recipient
+            if builder.pays_via_proposer_recipient
+            else builder.address
+        )
+        fork = ctx.canonical_ctx.fork()
+        gas_budget = ctx.gas_limit - INTRINSIC_GAS
+        result = BlockExecutionResult()
+
+        for bundle in bundles:
+            if result.gas_used + bundle.gas_limit > gas_budget:
+                continue
+            builder._try_bundle(bundle, fork, ctx, fee_recipient, result)
+
+        included_hashes = {tx.tx_hash for tx in result.included}
+        for tx in loose:
+            if tx.tx_hash in included_hashes:
+                continue
+            if result.gas_used + tx.gas_limit > gas_budget:
+                continue
+            if blocked and tx_statically_involves(tx, blocked, blocked_tokens):
+                continue
+            try:
+                outcome = ctx.execute_tx(
+                    tx, fork, fee_recipient, tx_index=len(result.included)
+                )
+            except Exception:
+                continue
+            result.included.append(tx)
+            result.outcomes.append(outcome)
+            result.gas_used += outcome.receipt.gas_used
+            result.burned_wei += outcome.burned_wei
+            result.priority_fees_wei += outcome.priority_fee_wei
+            result.direct_transfers_wei += outcome.direct_tip_wei
+            included_hashes.add(tx.tx_hash)
+    except Exception:
+        # Warming is best-effort; the sequential pass recomputes misses.
+        pass

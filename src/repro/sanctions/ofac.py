@@ -41,6 +41,11 @@ class SanctionsList:
         self._entries: list[SanctionedEntry] = []
         self._by_address: dict[Address, SanctionedEntry] = {}
         self._sanctioned_tokens: dict[str, datetime.date] = {}
+        # Per-date memos: as-of queries run once per screened transaction
+        # (and per builder per slot); the list changes a handful of times
+        # over the whole study window.  Invalidated on every add.
+        self._addresses_as_of: dict[datetime.date, frozenset[Address]] = {}
+        self._tokens_as_of: dict[datetime.date, frozenset[str]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -51,6 +56,7 @@ class SanctionsList:
         entry = SanctionedEntry(address=address, listed_date=listed_date)
         self._entries.append(entry)
         self._by_address[address] = entry
+        self._addresses_as_of.clear()
         return entry
 
     def add_token(self, symbol: str, listed_date: datetime.date) -> None:
@@ -58,6 +64,7 @@ class SanctionsList:
         if symbol in self._sanctioned_tokens:
             raise ConfigError(f"token {symbol} is already designated")
         self._sanctioned_tokens[symbol] = listed_date
+        self._tokens_as_of.clear()
 
     def entries(self) -> list[SanctionedEntry]:
         return list(self._entries)
@@ -66,20 +73,28 @@ class SanctionsList:
         return frozenset(self._by_address)
 
     def addresses_as_of(self, date: datetime.date) -> frozenset[Address]:
-        """Addresses whose designation is effective on ``date``."""
-        return frozenset(
-            entry.address
-            for entry in self._entries
-            if entry.effective_date <= date
-        )
+        """Addresses whose designation is effective on ``date`` (memoized)."""
+        cached = self._addresses_as_of.get(date)
+        if cached is None:
+            cached = frozenset(
+                entry.address
+                for entry in self._entries
+                if entry.effective_date <= date
+            )
+            self._addresses_as_of[date] = cached
+        return cached
 
     def tokens_as_of(self, date: datetime.date) -> frozenset[str]:
         """Token designations effective on ``date`` (next-day rule applies)."""
-        return frozenset(
-            symbol
-            for symbol, listed in self._sanctioned_tokens.items()
-            if listed + datetime.timedelta(days=1) <= date
-        )
+        cached = self._tokens_as_of.get(date)
+        if cached is None:
+            cached = frozenset(
+                symbol
+                for symbol, listed in self._sanctioned_tokens.items()
+                if listed + datetime.timedelta(days=1) <= date
+            )
+            self._tokens_as_of[date] = cached
+        return cached
 
     def is_sanctioned(self, address: Address, date: datetime.date) -> bool:
         entry = self._by_address.get(address)

@@ -69,12 +69,21 @@ class SanctionScreener:
         trace: TransactionTrace,
         receipt: Receipt,
         date: datetime.date,
+        sanctioned: frozenset[Address] | None = None,
+        designated_tokens: frozenset[str] | None = None,
     ) -> bool:
-        """Whether this transaction involves sanctioned activity on ``date``."""
-        sanctioned = self._sanctions.addresses_as_of(date)
+        """Whether this transaction involves sanctioned activity on ``date``.
+
+        ``sanctioned``/``designated_tokens`` let block-level callers resolve
+        the dated lists once and reuse them across every transaction.
+        """
+        if sanctioned is None:
+            sanctioned = self._sanctions.addresses_as_of(date)
+        if designated_tokens is None:
+            designated_tokens = self._sanctions.tokens_as_of(date)
         if sanctioned and self._trace_touches(trace, sanctioned):
             return True
-        return self._logs_touch(receipt, sanctioned, date)
+        return self._logs_touch(receipt, sanctioned, designated_tokens)
 
     def _trace_touches(
         self, trace: TransactionTrace, sanctioned: frozenset[Address]
@@ -88,9 +97,8 @@ class SanctionScreener:
         self,
         receipt: Receipt,
         sanctioned: frozenset[Address],
-        date: datetime.date,
+        designated_tokens: frozenset[str],
     ) -> bool:
-        designated_tokens = self._sanctions.tokens_as_of(date)
         for log in receipt.logs_with_topic(TRANSFER_EVENT_TOPIC):
             symbol = self._screened_token_addresses.get(log.address)
             if symbol is None:
@@ -114,11 +122,20 @@ class SanctionScreener:
         """Hashes of this block's non-OFAC-compliant transactions."""
         flagged: list[Hash] = []
         traces_by_hash = {trace.tx_hash: trace for trace in traces}
+        # Resolve the dated lists once per block, not once per transaction.
+        sanctioned = self._sanctions.addresses_as_of(date)
+        designated_tokens = self._sanctions.tokens_as_of(date)
         for receipt in receipts:
             trace = traces_by_hash.get(
                 receipt.tx_hash, TransactionTrace(receipt.tx_hash, ())
             )
-            if self.is_non_compliant(trace, receipt, date):
+            if self.is_non_compliant(
+                trace,
+                receipt,
+                date,
+                sanctioned=sanctioned,
+                designated_tokens=designated_tokens,
+            ):
                 flagged.append(receipt.tx_hash)
         return flagged
 

@@ -69,6 +69,19 @@ class SimulationConfig:
     # How many builders compete per slot (top order-flow weighted sample).
     max_active_builders_per_slot: int = 7
 
+    # Performance knobs.  None of these change simulated outcomes — a
+    # given seed produces a bit-identical world at any setting (the
+    # determinism regression tests enforce it).
+    # Shared per-slot memo of execute_transaction outcomes across builders.
+    enable_exec_cache: bool = True
+    # Worker threads for the builder-phase cache-warming pass (1 = off).
+    build_workers: int = 1
+    # Restore the pre-lazy fork-everything protocol forks (baseline mode).
+    eager_protocol_forks: bool = False
+    # Execute lone ETH transfers / coinbase tips in place instead of on a
+    # speculative fork (False restores fork-per-transaction baseline mode).
+    engine_fast_path: bool = True
+
     def __post_init__(self) -> None:
         if self.num_days <= 0:
             raise ConfigError("num_days must be positive")
@@ -95,6 +108,8 @@ class SimulationConfig:
                 raise ConfigError(f"{name} must be in [0, 1], got {value}")
         if self.swap_tx_share + self.token_tx_share > 1.0:
             raise ConfigError("swap and token shares exceed the whole workload")
+        if self.build_workers < 1:
+            raise ConfigError("build_workers must be at least 1")
 
     @property
     def total_slots(self) -> int:

@@ -10,6 +10,7 @@ timeline.
 from __future__ import annotations
 
 import datetime
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +20,7 @@ from ..beacon.rewards import RewardLedger
 from ..beacon.schedule import ProposerSchedule
 from ..beacon.validator import Validator, ValidatorRegistry
 from ..chain.chain import Chain
+from ..chain.exec_cache import ExecutionCache
 from ..chain.execution import ExecutionContext, ExecutionEngine
 from ..chain.state import WorldState
 from ..chain.transaction import (
@@ -50,6 +52,8 @@ from ..mempool.network import P2PNetwork
 from ..mempool.observer import ObservationStore
 from ..mempool.pool import SharedMempool
 from ..mempool.private import PrivateOrderFlow
+from ..perf.metrics import PerfRegistry
+from ..perf.parallel import BuildWorkerPool
 from ..sanctions.ofac import SanctionsList, build_ofac_timeline
 from ..types import Address, derive_address, ether, gwei
 from . import calibration
@@ -67,6 +71,11 @@ from .events import Timeline, default_timeline
 _SECONDS_PER_DAY = 86_400
 _MEMPOOL_TTL_SECONDS = 0.75 * _SECONDS_PER_DAY
 _GENESIS_TIME = 1_663_224_179  # merge timestamp (2022-09-15 06:42:59 UTC)
+
+# Candidate tokens for user ERC-20 transfers.  A pre-built array keeps
+# ``rng.choice`` from re-converting the list on every generated transaction
+# (the draw sequence is identical either way).
+_TRANSFER_TOKENS = np.array(["USDC", "DAI", "USDT", "WBTC", "ALT1", "ALT2"])
 
 
 @dataclass
@@ -118,12 +127,23 @@ class World:
         self.private_flow = PrivateOrderFlow()
 
         self.defi: DefiProtocols = build_defi(config)
+        # The baseline mode for perf comparisons: fork every protocol
+        # component up front instead of on first touch.
+        self.defi.fork_eagerly = config.eager_protocol_forks
         self.oracle = self.defi.oracle
         self.state = WorldState()
-        self.engine = ExecutionEngine()
+        self.engine = ExecutionEngine(fast_single_action=config.engine_fast_path)
         self.canonical_ctx = ExecutionContext(state=self.state, protocols=self.defi)
         self.chain = Chain(first_block_number=MERGE_BLOCK_NUMBER)
         self.tx_factory = TransactionFactory()
+
+        # Performance machinery (never changes simulated outcomes).
+        self.perf = PerfRegistry()
+        self.worker_pool = (
+            BuildWorkerPool(config.build_workers)
+            if config.build_workers > 1
+            else None
+        )
 
         # Consensus layer.
         self.validators: ValidatorRegistry
@@ -168,6 +188,8 @@ class World:
         self._binance_hot_wallet = derive_address("exchange", "binance-hot")
         self._ankr_deposit = derive_address("exchange", "ankr-deposit")
         self._borrower_counter = 0
+        # Swap-eligible pool ids; built on first use (pools are static).
+        self._swap_pool_ids: np.ndarray | None = None
 
         # Ground truth for tests.
         self.slot_records: list[SlotRecord] = []
@@ -391,7 +413,7 @@ class World:
                 sender, slot, max_fee, priority, sophistication, rng
             )
         elif roll < self.config.swap_tx_share + self.config.token_tx_share:
-            token = str(rng.choice(["USDC", "DAI", "USDT", "WBTC", "ALT1", "ALT2"]))
+            token = str(rng.choice(_TRANSFER_TOKENS))
             recipient = self.users[int(rng.integers(0, len(self.users)))]
             balance = self.defi.tokens.balance_of(token, sender)
             amount = max(1, int(balance * float(rng.uniform(0.001, 0.02))))
@@ -429,11 +451,18 @@ class World:
         sophistication: float,
         rng: np.random.Generator,
     ) -> Transaction:
-        pool_ids = [
-            pool_id
-            for pool_id in self.defi.amm.pool_ids()
-            if "TRON" not in pool_id
-        ]
+        # Pools are static after world setup, so the candidate array (and
+        # its numpy conversion inside ``rng.choice``) is built only once.
+        pool_ids = self._swap_pool_ids
+        if pool_ids is None:
+            pool_ids = np.array(
+                [
+                    pool_id
+                    for pool_id in self.defi.amm.pool_ids()
+                    if "TRON" not in pool_id
+                ]
+            )
+            self._swap_pool_ids = pool_ids
         pool_id = str(rng.choice(pool_ids))
         pool = self.defi.amm.pool(pool_id)
         token_in = pool.spec.token0 if rng.random() < 0.5 else pool.spec.token1
@@ -579,11 +608,14 @@ class World:
         return txs
 
     def _arb_cycles(self) -> list[tuple[str, ...]]:
-        cycles = getattr(self, "_cached_cycles", None)
-        if cycles is None:
-            cycles = find_arbitrage_cycles(self.defi.amm)
-            self._cached_cycles = cycles
-        return cycles
+        # Keyed by the AMM's pool set so newly deployed pools invalidate
+        # the cache and arbitrage bots see cycles through them.
+        signature = tuple(self.defi.amm.pool_ids())
+        cached = getattr(self, "_cached_cycles", None)
+        if cached is None or cached[0] != signature:
+            cached = (signature, find_arbitrage_cycles(self.defi.amm))
+            self._cached_cycles = cached
+        return cached[1]
 
     # ------------------------------------------------------------------
     # The slot loop
@@ -597,18 +629,21 @@ class World:
         config = self.config
         slot_seconds = config.seconds_per_simulated_slot
         global_index = 0
-        for day in range(config.num_days):
-            self._advance_day(day)
-            date = MERGE_DATE + datetime.timedelta(days=day)
-            for slot_in_day in range(config.blocks_per_day):
-                slot = MERGE_SLOT + global_index
-                slot_time = (
-                    _GENESIS_TIME
-                    + day * _SECONDS_PER_DAY
-                    + slot_in_day * slot_seconds
-                )
-                self._run_slot(slot, day, date, slot_time, global_index)
-                global_index += 1
+        with self.perf.timer("slot_loop"):
+            for day in range(config.num_days):
+                self._advance_day(day)
+                date = MERGE_DATE + datetime.timedelta(days=day)
+                for slot_in_day in range(config.blocks_per_day):
+                    slot = MERGE_SLOT + global_index
+                    slot_time = (
+                        _GENESIS_TIME
+                        + day * _SECONDS_PER_DAY
+                        + slot_in_day * slot_seconds
+                    )
+                    self._run_slot(slot, day, date, slot_time, global_index)
+                    global_index += 1
+        if self.worker_pool is not None:
+            self.worker_pool.shutdown()
         return self
 
     def _run_slot(
@@ -626,7 +661,10 @@ class World:
         intensity = self.timeline.mev_intensity(day)
         base_fee = self.chain.next_base_fee()
 
-        self._inject_workload(slot, day, slot_time, base_fee, sophistication, intensity)
+        with self.perf.timer("workload"):
+            self._inject_workload(
+                slot, day, slot_time, base_fee, sophistication, intensity
+            )
 
         if rng.random() < config.missed_slot_rate:
             self.beacon.append(
@@ -650,8 +688,14 @@ class World:
                         relay.register_validator(proposer, slot)
                         self._registered_relays.add(key)
 
-        bundles_by_builder = self._collect_bundles(slot, base_fee, slot_time, day)
+        with self.perf.timer("bundle_search"):
+            bundles_by_builder = self._collect_bundles(slot, base_fee, slot_time, day)
         active_builders = self._pick_active_builders(day)
+
+        # One shared execution cache per slot: canonical state and base fee
+        # are fixed within a slot, so builders replaying the same candidates
+        # hit verified cached outcomes instead of re-executing.
+        exec_cache = ExecutionCache() if config.enable_exec_cache else None
 
         ctx = SlotContext(
             slot=slot,
@@ -671,8 +715,16 @@ class World:
             rng=rng,
             tx_factory=self.tx_factory,
             build_cutoff_time=slot_time,
+            exec_cache=exec_cache,
+            build_workers=config.build_workers,
+            worker_pool=self.worker_pool,
+            perf=self.perf,
         )
-        outcome = self.auction.run(ctx, proposer, active_builders)
+        with self.perf.timer("auction"):
+            outcome = self.auction.run(ctx, proposer, active_builders)
+        if exec_cache is not None:
+            self.perf.add("exec_cache_hits", exec_cache.stats.hits)
+            self.perf.add("exec_cache_misses", exec_cache.stats.misses)
         self._apply_outcome(outcome, ctx, date)
 
     def _inject_workload(
@@ -784,15 +836,32 @@ class World:
                     routed.setdefault(target, []).append(bundle)
         return routed
 
-    def _sample_builders_by_weight(self, count: int) -> tuple[str, ...]:
+    def _flow_arrays(self) -> tuple[list[str], "np.ndarray | None"]:
+        """Positive-weight builder names and normalized sampling probs.
+
+        Rebuilt only when the day's flow weights change (the dict is
+        replaced each day); rebuilding per sampled tx was a measured
+        hotspot.
+        """
         weights = getattr(self, "_day_flow_weights", None)
         if not weights:
-            return ()
-        names = [name for name, weight in weights.items() if weight > 0]
+            return [], None
+        cached = getattr(self, "_flow_sampling_arrays", None)
+        if cached is None or cached[0] is not weights:
+            names = [name for name, weight in weights.items() if weight > 0]
+            if names:
+                probs = np.array([weights[name] for name in names], dtype=float)
+                probs = probs / probs.sum()
+            else:
+                probs = None
+            cached = (weights, names, probs)
+            self._flow_sampling_arrays = cached
+        return cached[1], cached[2]
+
+    def _sample_builders_by_weight(self, count: int) -> tuple[str, ...]:
+        names, probs = self._flow_arrays()
         if not names:
             return ()
-        probs = np.array([weights[name] for name in names], dtype=float)
-        probs = probs / probs.sum()
         count = min(count, len(names))
         chosen = self._rng_searchers.choice(
             names, size=count, replace=False, p=probs
@@ -800,12 +869,9 @@ class World:
         return tuple(str(name) for name in np.atleast_1d(chosen))
 
     def _pick_active_builders(self, day: int) -> list[str]:
-        weights = self._day_flow_weights
-        names = [name for name, weight in weights.items() if weight > 0]
+        names, probs = self._flow_arrays()
         if not names:
             return []
-        probs = np.array([weights[name] for name in names], dtype=float)
-        probs = probs / probs.sum()
         count = min(self.config.max_active_builders_per_slot, len(names))
         chosen = self._rng_auction.choice(
             names, size=count, replace=False, p=probs
@@ -895,6 +961,42 @@ class World:
                 ),
             )
         )
+
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """A stable fingerprint of the simulated outcome.
+
+        Covers the full chain (headers, receipts, logs, traces, fee
+        accounting), the final ETH/token/AMM state, and the slot records.
+        Two runs of the same config and seed must produce equal digests —
+        regardless of ``enable_exec_cache``, ``build_workers`` or
+        ``eager_protocol_forks`` — which the determinism regression tests
+        assert.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.chain.digest().encode())
+        state = self.state
+        for address in sorted(state._balances):
+            hasher.update(f"b|{address}|{state._balances[address]}".encode())
+        for address in sorted(state._nonces):
+            hasher.update(f"n|{address}|{state._nonces[address]}".encode())
+        hasher.update(f"m|{state._minted_wei}|{state._burned_wei}".encode())
+        token_balances = self.defi.tokens._balances._local
+        for key in sorted(token_balances):
+            hasher.update(f"t|{key}|{token_balances[key]}".encode())
+        reserves = self.defi.amm._reserves._local
+        for pool_id in sorted(reserves):
+            hasher.update(f"r|{pool_id}|{reserves[pool_id]}".encode())
+        for record in self.slot_records:
+            hasher.update(
+                f"s|{record.slot}|{record.mode}|{record.winning_builder}|"
+                f"{record.payment_wei}|{record.claimed_wei}".encode()
+            )
+        return hasher.hexdigest()
 
 
 def build_world(config: SimulationConfig | None = None) -> World:

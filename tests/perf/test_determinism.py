@@ -1,0 +1,47 @@
+"""Determinism regression: the perf machinery must never change a world.
+
+Same seed → bit-identical world digest, regardless of the shared
+execution cache, the engine fast path, lazy protocol forks, or the
+number of build workers.  This is the contract every optimization in
+``repro.perf`` / ``repro.chain.exec_cache`` is held to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.simulation import build_world
+from repro.simulation.config import small_test_config
+
+
+@pytest.fixture(scope="module")
+def reference_digest():
+    world = build_world(small_test_config(num_days=4, blocks_per_day=6)).run()
+    return world.digest()
+
+
+def _digest(**overrides) -> str:
+    config = small_test_config(num_days=4, blocks_per_day=6)
+    config = dataclasses.replace(config, **overrides)
+    return build_world(config).run().digest()
+
+
+def test_same_config_same_digest(reference_digest):
+    assert _digest() == reference_digest
+
+
+def test_worker_count_invariant(reference_digest):
+    assert _digest(build_workers=3) == reference_digest
+
+
+def test_optimizations_off_same_digest(reference_digest):
+    """The optimized world is bit-identical to the seed execution path."""
+    digest = _digest(
+        enable_exec_cache=False,
+        eager_protocol_forks=True,
+        engine_fast_path=False,
+        build_workers=1,
+    )
+    assert digest == reference_digest
