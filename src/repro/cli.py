@@ -6,7 +6,9 @@ Drives the whole study from a terminal:
   optionally export CSVs, and print a summary;
 * ``python -m repro report`` — build a world and print selected paper
   figures/tables;
-* ``python -m repro inventory`` — print the Table 1 dataset inventory.
+* ``python -m repro inventory`` — print the Table 1 dataset inventory;
+* ``python -m repro conformance`` — run the fault-injection scenario
+  matrix and the differential replay matrix (see DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -190,6 +192,62 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_conformance(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .simulation.config import small_test_config
+    from .testing import (
+        ScenarioRunner,
+        default_scenarios,
+        run_replay_matrix,
+        scenarios_from_yaml,
+    )
+
+    scenarios = (
+        scenarios_from_yaml(Path(args.scenarios))
+        if args.scenarios
+        else default_scenarios()
+    )
+    runner = ScenarioRunner()
+    failures = 0
+    for scenario in scenarios:
+        result = runner.run(scenario)
+        problems = result.problems()
+        status = "ok" if not problems else "FAIL"
+        detected = ", ".join(
+            f"{kind}@{target}={result.perturbed.anomalies[(kind, target)].metric:g}"
+            for kind, target in sorted(result.scenario.expected_keys())
+            if (kind, target) in result.perturbed.anomalies
+        )
+        print(f"[{status:4s}] {scenario.name}  ({detected or 'nothing detected'})")
+        for problem in problems:
+            print(f"       - {problem}")
+        failures += bool(problems)
+
+    if not args.skip_replay:
+        print("differential replay matrix...", file=sys.stderr)
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_replay_matrix(
+                small_test_config(), artifact_dir=Path(tmp)
+            )
+        for case in report.results:
+            print(
+                f"[ok  ] replay {case.case.name}: "
+                f"world={case.world_digest[:12]} "
+                f"dataset={case.dataset_digest[:12]}"
+            )
+        problems = report.problems()
+        for problem in problems:
+            print(f"[FAIL] replay: {problem}")
+        failures += bool(problems)
+
+    print(
+        f"conformance: {'PASS' if not failures else f'{failures} FAILURE(S)'}"
+    )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +283,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated report names (default: {','.join(REPORTS)})",
     )
     report.set_defaults(handler=cmd_report)
+
+    conformance = subparsers.add_parser(
+        "conformance",
+        help="run the fault-injection scenarios and the replay matrix",
+    )
+    conformance.add_argument(
+        "--scenarios",
+        default=None,
+        help="YAML scenario file (default: the built-in six-fault matrix)",
+    )
+    conformance.add_argument(
+        "--skip-replay",
+        action="store_true",
+        help="skip the differential replay matrix",
+    )
+    conformance.set_defaults(handler=cmd_conformance)
     return parser
 
 

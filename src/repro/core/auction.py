@@ -15,6 +15,7 @@ from ..beacon.validator import Validator
 from ..chain.block import Block
 from ..chain.execution import BlockExecutionResult, ExecutionContext
 from ..chain.validation import validate_header
+from ..errors import MissingPayloadError
 from ..perf.parallel import warm_builder_caches
 from .builder import BlockBuilder, BuilderSubmission
 from .context import SlotContext
@@ -121,7 +122,24 @@ class SlotAuction:
                 # Sign the header: the serving relays reveal and record the
                 # delivery.  Only then can the proposer's node validate the
                 # payload — exactly the trust structure the paper examines.
-                submission = self.mev_boost.accept(ctx.slot, selection)
+                try:
+                    submission, delivered = self.mev_boost.accept(
+                        ctx.slot, selection
+                    )
+                except MissingPayloadError:
+                    # Every serving relay lost the escrow after the header
+                    # was signed; the proposer can only build locally.
+                    block, result, fork = self.local_builder.build(ctx, proposer)
+                    return SlotOutcome(
+                        slot=ctx.slot,
+                        mode=MODE_FALLBACK,
+                        block=block,
+                        result=result,
+                        proposer=proposer,
+                        winning_submission=None,
+                        delivering_relays=(),
+                        speculative_ctx=fork,
+                    )
                 issues = validate_header(
                     submission.block.header,
                     expected_parent_hash=ctx.parent_hash,
@@ -150,7 +168,7 @@ class SlotAuction:
                     result=submission.result,
                     proposer=proposer,
                     winning_submission=submission,
-                    delivering_relays=selection.relays,
+                    delivering_relays=delivered,
                     speculative_ctx=submission.speculative_ctx,
                 )
         block, result, fork = self.local_builder.build(ctx, proposer)

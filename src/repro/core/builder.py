@@ -187,6 +187,14 @@ class BlockBuilder:
         # Scenario hooks.
         self.timestamp_bug_days: frozenset[int] = frozenset()
         self.claim_inflation: Callable[[SlotContext, Wei], dict[str, Wei]] | None = None
+        # Days on which claim_inflation fires, and the relays the inflated
+        # claims target (the builder submits there even if not routed).
+        self.claim_inflation_days: frozenset[int] = frozenset()
+        self.claim_inflation_relays: tuple[str, ...] = ()
+        # Days on which the builder is down and submits nothing (the
+        # crash-mid-auction fault): build() returns None before touching
+        # the slot's shared RNG stream.
+        self.crash_days: frozenset[int] = frozenset()
         self.scripted_mispromise: dict[int, tuple[Wei, Wei]] = {}
         # Set when a scripted mispromise was consumed this slot; the world
         # re-arms it if the bid did not win (the incident did happen).
@@ -255,6 +263,8 @@ class BlockBuilder:
 
     def build(self, ctx: SlotContext, proposer: Validator) -> BuilderSubmission | None:
         """Assemble, price and sign this slot's candidate block."""
+        if ctx.day in self.crash_days:
+            return None
         bundles, loose = self._gather_candidates(ctx)
         blocked = self._blocked_addresses(ctx)
         blocked_tokens = self._blocked_tokens(ctx)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import RelayError
+from ..errors import MissingPayloadError, RelayError
 from ..types import Hash, Wei
 from .builder import BuilderSubmission
 from .relay import Relay
@@ -71,13 +71,29 @@ class MevBoostClient:
             relays=serving,
         )
 
-    def accept(self, slot: int, selection: BidSelection) -> BuilderSubmission:
-        """Sign the header: every serving relay reveals and records delivery."""
+    def accept(
+        self, slot: int, selection: BidSelection
+    ) -> tuple[BuilderSubmission, tuple[str, ...]]:
+        """Sign the header: every serving relay reveals and records delivery.
+
+        A relay that lost its escrow is skipped — any other relay holding
+        the same block can still serve it.  Returns the payload and the
+        relays that actually delivered; raises :class:`MissingPayloadError`
+        when none could (the proposer's slot is then at the mercy of its
+        local fallback — exactly the availability risk the paper flags).
+        """
         submission: BuilderSubmission | None = None
+        delivered: list[str] = []
         for name in selection.relays:
-            submission = self._relays[name].deliver_payload(
-                slot, selection.block_hash
-            )
+            try:
+                submission = self._relays[name].deliver_payload(
+                    slot, selection.block_hash
+                )
+            except MissingPayloadError:
+                continue
+            delivered.append(name)
         if submission is None:
-            raise RelayError(f"no relay delivered payload for slot {slot}")
-        return submission
+            raise MissingPayloadError(
+                f"no relay delivered payload for slot {slot}"
+            )
+        return submission, tuple(delivered)

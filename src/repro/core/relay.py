@@ -72,6 +72,15 @@ class Relay:
         # Scenario hook: days on which the relay skips payment validation
         # entirely (the Manifold incident window).
         self.validation_outage_days: frozenset[int] = frozenset()
+        # Scenario hook: slots whose escrowed payload the relay loses after
+        # serving the header — deliver_payload raises MissingPayloadError.
+        self.drop_payload_slots: frozenset[int] = frozenset()
+        # Ground truth for the conformance harness: slots where the
+        # front-running filter saw a sandwich but the miss draw let it
+        # through.  Escrow is dropped after every slot, so this is the
+        # only durable trace of a filter miss on a block that lost the
+        # auction elsewhere.
+        self.filter_missed_slots: list[int] = []
 
         self.data = RelayDataStore(name)
         self._rng = np.random.default_rng(rng_seed)
@@ -82,14 +91,15 @@ class Relay:
 
     # -- daily housekeeping -----------------------------------------------
 
-    def refresh_sanctions_view(self, sanctions: SanctionsList, date: datetime.date) -> None:
-        """Update the relay's local OFAC copy for ``date`` (with lag).
+    def blocked_view_for(
+        self, sanctions: SanctionsList, date: datetime.date
+    ) -> tuple[frozenset[Address], frozenset[str]]:
+        """The (addresses, tokens) this relay's lagged OFAC copy blocks.
 
-        A batch published on day D becomes active in this relay's filter on
-        D + 1 (OFAC effectiveness) + lag (the relay's update latency).
+        Pure: computes what the filter knows on ``date`` without touching
+        relay state, so the conformance oracles can recompute the view a
+        delivered block was screened against.
         """
-        if not self.policy.is_censoring:
-            return
         blocked: set[Address] = set()
         for entry in sanctions.entries():
             lag = self.sanctions_lag_overrides.get(
@@ -98,7 +108,6 @@ class Relay:
             active_from = entry.effective_date + datetime.timedelta(days=lag)
             if active_from <= date:
                 blocked.add(entry.address)
-        self._blocked_addresses = frozenset(blocked)
         tokens: set[str] = set()
         for symbol in sanctions.tokens_as_of(date):
             # Apply the default lag to token designations as well.
@@ -106,7 +115,19 @@ class Relay:
                 date - datetime.timedelta(days=self.sanctions_lag_days)
             ):
                 tokens.add(symbol)
-        self._blocked_tokens = frozenset(tokens)
+        return frozenset(blocked), frozenset(tokens)
+
+    def refresh_sanctions_view(self, sanctions: SanctionsList, date: datetime.date) -> None:
+        """Update the relay's local OFAC copy for ``date`` (with lag).
+
+        A batch published on day D becomes active in this relay's filter on
+        D + 1 (OFAC effectiveness) + lag (the relay's update latency).
+        """
+        if not self.policy.is_censoring:
+            return
+        self._blocked_addresses, self._blocked_tokens = self.blocked_view_for(
+            sanctions, date
+        )
 
     # -- validator side ----------------------------------------------------
 
@@ -173,6 +194,7 @@ class Relay:
             if self._contains_sandwich(submission):
                 if self._rng.random() >= self.mev_filter_miss_rate:
                     return False, "front-running filter"
+                self.filter_missed_slots.append(submission.slot)
 
         return True, ""
 
@@ -224,8 +246,24 @@ class Relay:
         """The blinded header + claimed value served to proposers."""
         return self._best_by_slot.get(slot)
 
+    def escrowed_submissions(self) -> dict[int, BuilderSubmission]:
+        """Best accepted submission per slot currently held in escrow.
+
+        Escrow is transient — the auction drops each slot's entry once
+        the slot resolves — so this is only populated mid-slot; tests use
+        it to assert what ``deliver_payload`` and ``drop_slot`` act on.
+        """
+        return dict(self._best_by_slot)
+
     def deliver_payload(self, slot: int, block_hash: str) -> BuilderSubmission:
         """Reveal the full block for a signed header; records the delivery."""
+        if slot in self.drop_payload_slots:
+            # Fault injection: the relay served the header but lost the
+            # escrowed payload before the proposer came back for it.
+            self._best_by_slot.pop(slot, None)
+            raise MissingPayloadError(
+                f"{self.name} dropped payload for slot {slot}"
+            )
         submission = self._best_by_slot.get(slot)
         if submission is None or submission.block.block_hash != block_hash:
             raise MissingPayloadError(
@@ -250,6 +288,15 @@ class Relay:
     def builders_seen_on_day(self, day: int) -> int:
         return len(self._builders_seen_by_day.get(day, set()))
 
-    def drop_slot(self, slot: int) -> None:
-        """Release escrowed submissions for a finished slot."""
-        self._best_by_slot.pop(slot, None)
+    def drop_slot(self, slot: int, missing_ok: bool = True) -> None:
+        """Release escrowed submissions for a finished slot.
+
+        With ``missing_ok=False``, raises :class:`MissingPayloadError` when
+        nothing is escrowed for ``slot`` — callers that expect an escrow to
+        exist (fault injectors, tests) get a typed failure instead of a
+        silent no-op.  The auction's end-of-slot cleanup keeps the default.
+        """
+        if self._best_by_slot.pop(slot, None) is None and not missing_ok:
+            raise MissingPayloadError(
+                f"{self.name} holds no payload to drop for slot {slot}"
+            )

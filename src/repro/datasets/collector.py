@@ -9,6 +9,7 @@ observations, MEV label sources, and OFAC screening.  The resulting
 from __future__ import annotations
 
 import datetime
+import hashlib
 from dataclasses import dataclass, field
 
 from ..beacon.chain import BeaconChain
@@ -55,6 +56,69 @@ class StudyDataset:
 
     def dates(self) -> list[datetime.date]:
         return sorted({obs.date for obs in self.blocks})
+
+    def content_digest(self) -> str:
+        """A stable hex digest of the collected measurement content.
+
+        Covers every analysis-relevant per-block field plus the inventory
+        and relay-policy metadata, so two collections are digest-equal iff
+        the measurement pipeline would produce identical numbers — the
+        equality the differential replay matrix asserts across perf
+        configurations.
+        """
+        hasher = hashlib.sha256()
+
+        def feed(text: str) -> None:
+            hasher.update(text.encode())
+            hasher.update(b"\x00")
+
+        for obs in sorted(self.blocks, key=lambda o: o.number):
+            feed(
+                "|".join(
+                    (
+                        str(obs.number),
+                        obs.block_hash,
+                        str(obs.slot),
+                        obs.date.isoformat(),
+                        str(obs.proposer_index),
+                        obs.proposer_entity,
+                        obs.proposer_fee_recipient,
+                        obs.fee_recipient,
+                        obs.extra_data,
+                        str(obs.gas_used),
+                        str(obs.gas_limit),
+                        str(obs.base_fee_per_gas),
+                        str(obs.burned_wei),
+                        str(obs.priority_fees_wei),
+                        str(obs.direct_transfers_wei),
+                        str(obs.tx_count),
+                        str(obs.private_tx_count),
+                        str(obs.builder_payment_wei),
+                        str(obs.builder_pubkey),
+                    )
+                )
+            )
+            for relay, value in sorted(obs.claimed_by_relay.items()):
+                feed(f"claim:{relay}={value}")
+            for tx_hash, value in sorted(obs.tx_value_contribution.items()):
+                feed(f"contrib:{tx_hash}={value}")
+            for tx_hash in sorted(obs.private_tx_hashes):
+                feed(f"private:{tx_hash}")
+            for tx_hash in obs.sanctioned_tx_hashes:
+                feed(f"sanctioned:{tx_hash}")
+        feed(f"labels:{len(self.mev)}")
+        for source, count in sorted(self.inventory.mev_labels_by_source.items()):
+            feed(f"labels:{source}={count}")
+        inv = self.inventory
+        feed(
+            "inventory:"
+            f"{inv.blocks}|{inv.transactions}|{inv.logs}|{inv.traces}|"
+            f"{inv.mempool_arrival_times}|{inv.relay_data_entries}|"
+            f"{inv.ofac_addresses}"
+        )
+        for name in sorted(self.compliant_relays):
+            feed(f"compliant:{name}")
+        return hasher.hexdigest()
 
 
 def _detect_builder_payment(block, proposer_fee_recipient) -> Wei:

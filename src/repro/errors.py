@@ -72,5 +72,17 @@ class DataError(ReproError):
     """Dataset collection / storage failures."""
 
 
+class ConformanceError(ReproError):
+    """Conformance-harness failures (oracles, scenarios, replay matrix)."""
+
+
+class OracleViolationError(ConformanceError):
+    """An invariant oracle found violations no modeled failure explains."""
+
+
+class ScenarioError(ConformanceError):
+    """A fault-injection scenario was invalid or its detection check failed."""
+
+
 class AnalysisError(ReproError):
     """Measurement-pipeline failures (empty inputs, bad parameters)."""

@@ -7,6 +7,7 @@ defaults with ``num_days=198``; tests shrink the world.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..constants import STUDY_NUM_DAYS
@@ -119,6 +120,21 @@ class SimulationConfig:
     def seconds_per_simulated_slot(self) -> float:
         """Wall-clock seconds between simulated block opportunities."""
         return 86_400.0 / self.blocks_per_day
+
+    def with_overrides(self, **overrides) -> "SimulationConfig":
+        """A copy of this config with the given fields replaced.
+
+        Raises :class:`ConfigError` on unknown field names so scenario
+        specs and replay-matrix cases fail loudly instead of silently
+        ignoring a typo.
+        """
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown SimulationConfig field(s): {', '.join(unknown)}"
+            )
+        return dataclasses.replace(self, **overrides)
 
 
 def small_test_config(**overrides) -> SimulationConfig:

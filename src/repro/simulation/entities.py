@@ -267,6 +267,7 @@ def build_builders(
 
         builders["Builder 2"].claim_inflation = _inflate
         builders["Builder 2"].claim_inflation_days = frozenset({incident_day})
+        builders["Builder 2"].claim_inflation_relays = ("Manifold",)
 
     for index in range(config.num_long_tail_builders):
         name = f"builder-{index:03d}"

@@ -885,7 +885,7 @@ class World:
             if (
                 day in builder.scripted_mispromise
                 or day in builder.timestamp_bug_days
-                or day in getattr(builder, "claim_inflation_days", ())
+                or day in builder.claim_inflation_days
             ):
                 active.append(name)
         # Builders submit to a per-slot sampled subset of their relay routes.
@@ -901,9 +901,11 @@ class World:
                     relay_names, size=take, replace=False, p=relay_probs
                 )
                 relays = {str(r) for r in np.atleast_1d(picked)}
-                if day in getattr(builder, "claim_inflation_days", ()):
-                    # The Manifold exploit requires submitting to Manifold.
-                    relays.add("Manifold")
+                if day in builder.claim_inflation_days:
+                    # The exploit requires submitting to the relays whose
+                    # validation the inflated claims abuse (Manifold in the
+                    # paper's incident; scenarios can target any relay).
+                    relays.update(builder.claim_inflation_relays)
                 builder.relays = tuple(sorted(relays))
         return active
 

@@ -1,0 +1,174 @@
+"""Differential replay: one seeded scenario, every perf configuration.
+
+The simulator's performance knobs (shared execution cache, parallel
+cache-warming workers, lazy protocol forks, the engine fast path) promise
+to never change simulated outcomes.  This module turns that promise into
+a reusable matrix: the same seeded config (optionally perturbed by
+scenario faults) is re-run under each :class:`ReplayCase` and every run
+must produce a bit-identical world digest, a bit-identical collected
+dataset digest, and an oracle-violation-free result.  The artifact cache
+is exercised too: a cold save followed by a warm load must round-trip
+the dataset digest exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..datasets.collector import collect_study_dataset
+from ..errors import ConformanceError
+from ..perf.artifacts import load_study_artifact, save_study_artifact
+from ..simulation.config import SimulationConfig
+from ..simulation.world import build_world
+from .oracles import run_oracles
+from .scenarios import FaultSpec, apply_fault
+
+
+@dataclass(frozen=True)
+class ReplayCase:
+    """One perf configuration of the replay matrix."""
+
+    name: str
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+
+#: The shipped matrix: exec-cache on/off x build workers 1/4, plus the
+#: all-optimizations-off baseline paths.
+DEFAULT_CASES: tuple[ReplayCase, ...] = (
+    ReplayCase(name="reference"),
+    ReplayCase(name="exec-cache-off", overrides=(("enable_exec_cache", False),)),
+    ReplayCase(name="workers-4", overrides=(("build_workers", 4),)),
+    ReplayCase(
+        name="exec-cache-off-workers-4",
+        overrides=(("enable_exec_cache", False), ("build_workers", 4)),
+    ),
+    ReplayCase(
+        name="baseline-paths",
+        overrides=(
+            ("enable_exec_cache", False),
+            ("eager_protocol_forks", True),
+            ("engine_fast_path", False),
+        ),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Digests and oracle outcome of one matrix cell."""
+
+    case: ReplayCase
+    world_digest: str
+    dataset_digest: str
+    oracle_violations: int
+
+
+@dataclass
+class ReplayReport:
+    """Everything the matrix produced, plus the consistency verdict."""
+
+    config: SimulationConfig
+    results: tuple[CaseResult, ...]
+    faults: tuple[FaultSpec, ...] = ()
+    #: Dataset digest after a cold artifact save + warm load round-trip
+    #: (None when no artifact directory was provided or faults are active).
+    artifact_roundtrip_digest: str | None = None
+
+    def problems(self) -> list[str]:
+        problems: list[str] = []
+        if not self.results:
+            return ["replay matrix ran no cases"]
+        reference = self.results[0]
+        for result in self.results[1:]:
+            if result.world_digest != reference.world_digest:
+                problems.append(
+                    f"case {result.case.name!r} world digest diverged from "
+                    f"{reference.case.name!r}"
+                )
+            if result.dataset_digest != reference.dataset_digest:
+                problems.append(
+                    f"case {result.case.name!r} dataset digest diverged "
+                    f"from {reference.case.name!r}"
+                )
+        for result in self.results:
+            if result.oracle_violations:
+                problems.append(
+                    f"case {result.case.name!r} has "
+                    f"{result.oracle_violations} oracle violation(s)"
+                )
+        if (
+            self.artifact_roundtrip_digest is not None
+            and self.artifact_roundtrip_digest != reference.dataset_digest
+        ):
+            problems.append(
+                "artifact cache round-trip changed the dataset digest"
+            )
+        return problems
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems()
+
+    def assert_consistent(self) -> None:
+        problems = self.problems()
+        if problems:
+            raise ConformanceError(
+                "differential replay matrix failed:\n"
+                + "\n".join(f"- {p}" for p in problems)
+            )
+
+
+def run_replay_matrix(
+    config: SimulationConfig,
+    cases: tuple[ReplayCase, ...] = DEFAULT_CASES,
+    faults: tuple[FaultSpec, ...] = (),
+    artifact_dir: Path | None = None,
+    check_oracles: bool = True,
+) -> ReplayReport:
+    """Run ``config`` under every case; collect digests and oracle results.
+
+    ``faults`` are applied identically to every case, so fault-injection
+    scenarios are covered by the same determinism guarantee as clean
+    runs.  When ``artifact_dir`` is given (and no faults are active —
+    artifacts cache pure functions of the config only), the reference
+    case's dataset is saved cold and re-loaded warm, and the round-trip
+    digest is recorded for :meth:`ReplayReport.problems` to compare.
+    """
+    results: list[CaseResult] = []
+    roundtrip: str | None = None
+    for index, case in enumerate(cases):
+        case_config = (
+            config.with_overrides(**dict(case.overrides))
+            if case.overrides
+            else config
+        )
+        world = build_world(case_config)
+        for spec in faults:
+            apply_fault(world, spec)
+        world.run()
+        dataset = collect_study_dataset(world)
+        violations = 0
+        if check_oracles:
+            violations = len(run_oracles(world, dataset).violations)
+        results.append(
+            CaseResult(
+                case=case,
+                world_digest=world.digest(),
+                dataset_digest=dataset.content_digest(),
+                oracle_violations=violations,
+            )
+        )
+        if index == 0 and artifact_dir is not None and not faults:
+            save_study_artifact(case_config, dataset, cache_dir=artifact_dir)
+            reloaded = load_study_artifact(case_config, cache_dir=artifact_dir)
+            roundtrip = (
+                reloaded.content_digest() if reloaded is not None else "<miss>"
+            )
+    return ReplayReport(
+        config=config,
+        results=tuple(results),
+        faults=faults,
+        artifact_roundtrip_digest=roundtrip,
+    )

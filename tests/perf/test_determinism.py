@@ -2,46 +2,57 @@
 
 Same seed → bit-identical world digest, regardless of the shared
 execution cache, the engine fast path, lazy protocol forks, or the
-number of build workers.  This is the contract every optimization in
-``repro.perf`` / ``repro.chain.exec_cache`` is held to.
+number of build workers.  The heavy lifting lives in the conformance
+harness's differential replay matrix (``repro.testing.differential``);
+this module pins the perf contract through it.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 
-from repro.simulation import build_world
 from repro.simulation.config import small_test_config
+from repro.testing.differential import run_replay_matrix
 
 
 @pytest.fixture(scope="module")
-def reference_digest():
-    world = build_world(small_test_config(num_days=4, blocks_per_day=6)).run()
-    return world.digest()
-
-
-def _digest(**overrides) -> str:
-    config = small_test_config(num_days=4, blocks_per_day=6)
-    config = dataclasses.replace(config, **overrides)
-    return build_world(config).run().digest()
-
-
-def test_same_config_same_digest(reference_digest):
-    assert _digest() == reference_digest
-
-
-def test_worker_count_invariant(reference_digest):
-    assert _digest(build_workers=3) == reference_digest
-
-
-def test_optimizations_off_same_digest(reference_digest):
-    """The optimized world is bit-identical to the seed execution path."""
-    digest = _digest(
-        enable_exec_cache=False,
-        eager_protocol_forks=True,
-        engine_fast_path=False,
-        build_workers=1,
+def replay_report(tmp_path_factory):
+    return run_replay_matrix(
+        small_test_config(num_days=4, blocks_per_day=6),
+        artifact_dir=tmp_path_factory.mktemp("determinism-artifacts"),
     )
-    assert digest == reference_digest
+
+
+def test_replay_matrix_is_bit_identical(replay_report):
+    replay_report.assert_consistent()
+
+
+def test_exec_cache_invariant(replay_report):
+    by_name = {r.case.name: r for r in replay_report.results}
+    assert (
+        by_name["exec-cache-off"].world_digest
+        == by_name["reference"].world_digest
+    )
+
+
+def test_worker_count_invariant(replay_report):
+    by_name = {r.case.name: r for r in replay_report.results}
+    assert (
+        by_name["workers-4"].world_digest == by_name["reference"].world_digest
+    )
+
+
+def test_optimizations_off_same_digest(replay_report):
+    """The optimized world is bit-identical to the seed execution path."""
+    by_name = {r.case.name: r for r in replay_report.results}
+    assert (
+        by_name["baseline-paths"].world_digest
+        == by_name["reference"].world_digest
+    )
+
+
+def test_artifact_cache_round_trips(replay_report):
+    assert (
+        replay_report.artifact_roundtrip_digest
+        == replay_report.results[0].dataset_digest
+    )

@@ -22,6 +22,18 @@ class TestParser:
         args = build_parser().parse_args(["report", "--only", "fig04,table4"])
         assert args.only == "fig04,table4"
 
+    def test_conformance_defaults(self):
+        args = build_parser().parse_args(["conformance"])
+        assert args.scenarios is None
+        assert not args.skip_replay
+
+    def test_conformance_flags(self):
+        args = build_parser().parse_args(
+            ["conformance", "--scenarios", "faults.yml", "--skip-replay"]
+        )
+        assert args.scenarios == "faults.yml"
+        assert args.skip_replay
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
@@ -59,3 +71,20 @@ class TestCommands:
 
     def test_epbs_flag(self, capsys):
         assert main(["simulate", *FAST, "--epbs"]) == 0
+
+    def test_conformance_yaml_scenario(self, tmp_path, capsys):
+        spec = tmp_path / "faults.yml"
+        spec.write_text(
+            "scenarios:\n"
+            "  - name: cli-builder-crash\n"
+            "    description: builder goes dark mid-study\n"
+            "    faults:\n"
+            "      - kind: builder-crash\n"
+            "        target: Builder 1\n"
+            "        day: 9\n"
+        )
+        assert main(["conformance", "--scenarios", str(spec), "--skip-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-builder-crash" in out
+        assert "builder-crash@Builder 1" in out
+        assert "conformance: PASS" in out

@@ -1,0 +1,124 @@
+"""Differential replay matrix tests.
+
+One seeded config re-run under every perf configuration must produce
+bit-identical world and dataset digests, zero oracle violations, and an
+exact artifact-cache round-trip.  Fault-injected runs are held to the
+same determinism contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.simulation.config import small_test_config
+from repro.testing.differential import (
+    DEFAULT_CASES,
+    CaseResult,
+    ReplayCase,
+    ReplayReport,
+    run_replay_matrix,
+)
+from repro.testing.scenarios import FAULT_BUILDER_CRASH, FaultSpec
+
+CONFIG = small_test_config(num_days=4, blocks_per_day=6)
+
+
+@pytest.fixture(scope="module")
+def clean_report(tmp_path_factory):
+    artifact_dir = tmp_path_factory.mktemp("artifacts")
+    return run_replay_matrix(CONFIG, artifact_dir=artifact_dir)
+
+
+class TestCleanMatrix:
+    def test_matrix_is_consistent(self, clean_report):
+        clean_report.assert_consistent()
+
+    def test_every_default_case_ran(self, clean_report):
+        assert [r.case.name for r in clean_report.results] == [
+            c.name for c in DEFAULT_CASES
+        ]
+
+    def test_digests_are_bit_identical(self, clean_report):
+        world_digests = {r.world_digest for r in clean_report.results}
+        dataset_digests = {r.dataset_digest for r in clean_report.results}
+        assert len(world_digests) == 1
+        assert len(dataset_digests) == 1
+
+    def test_all_cases_oracle_clean(self, clean_report):
+        assert all(r.oracle_violations == 0 for r in clean_report.results)
+
+    def test_artifact_cache_round_trips(self, clean_report):
+        assert (
+            clean_report.artifact_roundtrip_digest
+            == clean_report.results[0].dataset_digest
+        )
+
+
+class TestFaultedMatrix:
+    def test_faulted_runs_replay_identically(self, tmp_path):
+        fault = FaultSpec(kind=FAULT_BUILDER_CRASH, target="Builder 1", day=2)
+        report = run_replay_matrix(
+            CONFIG,
+            cases=DEFAULT_CASES[:3],
+            faults=(fault,),
+            artifact_dir=tmp_path,
+        )
+        report.assert_consistent()
+        # Artifacts cache pure functions of the config; faulted datasets
+        # must never be written or read back.
+        assert report.artifact_roundtrip_digest is None
+        assert list(tmp_path.iterdir()) == []
+
+
+def _case_result(name, world="w", dataset="d", violations=0):
+    return CaseResult(
+        case=ReplayCase(name=name),
+        world_digest=world,
+        dataset_digest=dataset,
+        oracle_violations=violations,
+    )
+
+
+class TestReportVerdicts:
+    def test_empty_matrix_is_a_problem(self):
+        report = ReplayReport(config=CONFIG, results=())
+        assert report.problems() == ["replay matrix ran no cases"]
+
+    def test_world_digest_divergence_flagged(self):
+        report = ReplayReport(
+            config=CONFIG,
+            results=(_case_result("ref"), _case_result("other", world="w2")),
+        )
+        assert any("world digest diverged" in p for p in report.problems())
+        with pytest.raises(ConformanceError, match="world digest"):
+            report.assert_consistent()
+
+    def test_dataset_digest_divergence_flagged(self):
+        report = ReplayReport(
+            config=CONFIG,
+            results=(_case_result("ref"), _case_result("other", dataset="d2")),
+        )
+        assert any("dataset digest diverged" in p for p in report.problems())
+
+    def test_oracle_violations_flagged(self):
+        report = ReplayReport(
+            config=CONFIG, results=(_case_result("ref", violations=3),)
+        )
+        assert any("3 oracle violation" in p for p in report.problems())
+
+    def test_roundtrip_mismatch_flagged(self):
+        report = ReplayReport(
+            config=CONFIG,
+            results=(_case_result("ref"),),
+            artifact_roundtrip_digest="stale",
+        )
+        assert any("round-trip" in p for p in report.problems())
+
+    def test_consistent_report_is_ok(self):
+        report = ReplayReport(
+            config=CONFIG,
+            results=(_case_result("ref"), _case_result("other")),
+            artifact_roundtrip_digest="d",
+        )
+        assert report.ok
