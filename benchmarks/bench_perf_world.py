@@ -13,6 +13,13 @@ Measures, in one process and therefore one environment:
    collected study dataset loaded from the persistent artifact cache
    (:mod:`repro.perf.artifacts`), which is how ``benchmarks/conftest.py``
    obtains the world's dataset on every session after the first.
+4. **Sharded scaling curve** — the same scenario partitioned into epoch
+   segments (``segment_days``) and executed across ``shard_workers``
+   processes (:mod:`repro.perf.sharding`), once per worker count in
+   ``--shard-curve``.  Every point of the curve must produce the *same*
+   sharded run digest (worker count is scheduling, not semantics); the
+   curve plus the recorded ``host_cpus`` shows how much of the
+   builder-phase wall time process sharding recovers on this machine.
 
 Both simulations must produce bit-identical digests — the speedups are
 only meaningful because the optimized world is *the same world*.
@@ -25,12 +32,13 @@ Emits ``BENCH_perf.json`` at the repo root:
   rebuilding from scratch every session.
 - ``cold_sim_speedup`` — the cold simulation-only speedup (shared
   execution + cache + workers, no artifact reuse).
-- blocks/sec for each mode, the builder-phase share of the slot loop,
-  and execution-cache hit rates.
+- ``sharded`` — the per-worker-count scaling curve (seconds,
+  blocks/sec, speedup vs the 1-worker sharded run) and the merged
+  builder-phase share.
 
 Run directly for the full benchmark scale, or scaled down::
 
-    PYTHONPATH=src python benchmarks/bench_perf_world.py --days 2 --blocks 8 --workers 2
+    PYTHONPATH=src python benchmarks/bench_perf_world.py --days 2 --blocks 8 --workers 2 --shard-curve 1,2
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from repro.perf.artifacts import (
     load_study_artifact,
     save_study_artifact,
 )
+from repro.perf.sharding import host_cpu_count, run_sharded
 from repro.simulation import SimulationConfig, build_world
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -71,11 +80,71 @@ def _timed_build(config: SimulationConfig):
     return world, time.perf_counter() - start
 
 
+def run_shard_curve(
+    base_config: SimulationConfig,
+    segment_days: int,
+    worker_counts: tuple[int, ...],
+) -> dict:
+    """One sharded run per worker count; digests must never diverge.
+
+    The segment plan is pinned by ``segment_days`` across the whole
+    curve, so every point executes the same segments — any digest
+    mismatch means process placement leaked into the simulation and is a
+    hard benchmark failure, not a data point.
+    """
+    curve = []
+    reference_digest: str | None = None
+    builder_phase_share = None
+    blocks = 0
+    for workers in worker_counts:
+        config = dataclasses.replace(
+            base_config, segment_days=segment_days, shard_workers=workers
+        )
+        start = time.perf_counter()
+        run = run_sharded(config)
+        seconds = time.perf_counter() - start
+        if reference_digest is None:
+            reference_digest = run.digest()
+            builder_phase_share = run.perf.share("builder_phase", "slot_loop")
+            blocks = run.blocks
+        elif run.digest() != reference_digest:
+            raise RuntimeError(
+                f"sharded run at {workers} workers diverged: "
+                f"{run.digest()[:16]} != {reference_digest[:16]}"
+            )
+        curve.append(
+            {
+                "shard_workers": workers,
+                "seconds": round(seconds, 3),
+                "blocks_per_second": round(blocks / seconds, 2),
+            }
+        )
+    serial_secs = curve[0]["seconds"]
+    for point in curve:
+        point["speedup_vs_serial"] = round(serial_secs / point["seconds"], 2)
+    return {
+        "description": (
+            "epoch-segment plan executed across shard_workers processes; "
+            "every curve point reproduces the same run digest"
+        ),
+        "segment_days": segment_days,
+        "num_segments": -(-base_config.num_days // segment_days),
+        "host_cpus": host_cpu_count(),
+        "digest": (reference_digest or "")[:16],
+        "digests_equal": True,
+        "blocks": blocks,
+        "builder_phase_share": round(builder_phase_share or 0.0, 3),
+        "curve": curve,
+    }
+
+
 def run_benchmark(
     num_days: int,
     blocks_per_day: int,
     workers: int,
     cache_dir: Path | None = None,
+    segment_days: int = 0,
+    shard_curve: tuple[int, ...] = (),
 ) -> dict:
     """Run all three measurements and return the JSON-ready payload."""
     optimized_cfg = SimulationConfig(
@@ -163,6 +232,10 @@ def run_benchmark(
         else None,
         "cold_sim_speedup": round(baseline_secs / optimized_secs, 2),
     }
+    if shard_curve and segment_days > 0:
+        payload["sharded"] = run_shard_curve(
+            optimized_cfg, segment_days, shard_curve
+        )
     return payload
 
 
@@ -180,6 +253,24 @@ def test_perf_world_smoke(tmp_path):
     assert payload["cold_sim_speedup"] > 0.0
 
 
+def test_shard_curve_smoke(tmp_path):
+    """Tiny sharded curve: both worker counts reproduce one digest."""
+    payload = run_benchmark(
+        num_days=4,
+        blocks_per_day=6,
+        workers=2,
+        cache_dir=tmp_path,
+        segment_days=2,
+        shard_curve=(1, 2),
+    )
+    sharded = payload["sharded"]
+    assert sharded["digests_equal"] is True
+    assert sharded["num_segments"] == 2
+    assert sharded["host_cpus"] >= 1
+    assert [p["shard_workers"] for p in sharded["curve"]] == [1, 2]
+    assert all(p["speedup_vs_serial"] > 0 for p in sharded["curve"])
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--days", type=int, default=198)
@@ -191,12 +282,33 @@ def main() -> None:
         action="store_true",
         help="use a throwaway artifact cache dir (CI smoke runs)",
     )
+    parser.add_argument(
+        "--segment-days",
+        type=int,
+        default=22,
+        help="epoch-segment length for the sharded curve (0 disables)",
+    )
+    parser.add_argument(
+        "--shard-curve",
+        default="1,2,4,8",
+        help="comma-separated shard_workers counts ('' skips the curve)",
+    )
     args = parser.parse_args()
 
     cache_dir = None
     if args.tmp_cache:
         cache_dir = Path(tempfile.mkdtemp(prefix="repro-artifact-"))
-    payload = run_benchmark(args.days, args.blocks, args.workers, cache_dir)
+    curve = tuple(
+        int(w) for w in args.shard_curve.split(",") if w.strip()
+    )
+    payload = run_benchmark(
+        args.days,
+        args.blocks,
+        args.workers,
+        cache_dir,
+        segment_days=args.segment_days,
+        shard_curve=curve,
+    )
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     print(f"\nwrote {args.out}")

@@ -280,6 +280,23 @@ class ExecutionCache:
         with self._lock:
             return len(self._variants.get(tx_hash, ()))
 
+    # -- serialization ---------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Picklable snapshot: variants and stats, minus the lock.
+
+        Lets a cache cross a process boundary (epoch-segment deltas carry
+        cache state/stats between shard workers and the parent) — the
+        lock is an in-process concern and is recreated on restore.
+        """
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._variants)

@@ -198,10 +198,12 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
     from .simulation.config import small_test_config
     from .testing import (
+        DEFAULT_CASES,
         ScenarioRunner,
         default_scenarios,
         run_replay_matrix,
         scenarios_from_yaml,
+        sharded_cases,
     )
 
     scenarios = (
@@ -229,7 +231,9 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         print("differential replay matrix...", file=sys.stderr)
         with tempfile.TemporaryDirectory() as tmp:
             report = run_replay_matrix(
-                small_test_config(), artifact_dir=Path(tmp)
+                small_test_config(),
+                cases=DEFAULT_CASES + sharded_cases(segment_days=4),
+                artifact_dir=Path(tmp),
             )
         for case in report.results:
             print(

@@ -76,6 +76,18 @@ class RelayDataStore:
     def record_delivery(self, payload: DeliveredPayload) -> None:
         self._payloads.append(payload)
 
+    def absorb(self, other: "RelayDataStore") -> None:
+        """Append another store's rows (epoch-segment merge).
+
+        Registrations keep the refresh-not-duplicate rule: a validator
+        registered in several segments yields one merged row, exactly as
+        re-registration within one run would.
+        """
+        for registration in other._registrations:
+            self.record_registration(registration)
+        self._submissions.extend(other._submissions)
+        self._payloads.extend(other._payloads)
+
     # -- reads (the endpoints the paper crawls) ---------------------------
 
     def get_validator_registrations(self) -> list[ValidatorRegistration]:

@@ -7,12 +7,13 @@ the relay data APIs of all eleven relays, and the dated OFAC list — and
 joins them into the per-block observations the analyses consume.
 """
 
-from .collector import StudyDataset, collect_study_dataset
+from .collector import StudyDataset, collect_study_dataset, merge_study_datasets
 from .records import BlockObservation, DatasetInventory
 
 __all__ = [
     "StudyDataset",
     "collect_study_dataset",
+    "merge_study_datasets",
     "BlockObservation",
     "DatasetInventory",
 ]

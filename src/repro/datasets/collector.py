@@ -121,6 +121,68 @@ class StudyDataset:
         return hasher.hexdigest()
 
 
+def merge_study_datasets(datasets: "list[StudyDataset]") -> StudyDataset:
+    """Merge per-segment datasets into one study-wide dataset, in order.
+
+    The epoch-segment merge step: block observations concatenate (block
+    numbers are globally unique by segment construction), MEV labels
+    union, relay data stores absorb row-by-row (registrations dedupe just
+    as re-registration does in one run), and the inventory is re-derived
+    so counts stay consistent with the merged stores.  Merging a single
+    dataset returns it unchanged, so unsegmented runs pay nothing.
+    """
+    if not datasets:
+        raise DataError("cannot merge an empty dataset list")
+    if len(datasets) == 1:
+        return datasets[0]
+
+    first = datasets[0]
+    blocks: list[BlockObservation] = []
+    mev = MevDataset(sources=first.mev.sources)
+    relays: dict[str, Relay] = dict(first.relays)
+    total_blocks = total_txs = total_logs = total_traces = total_arrivals = 0
+    compliant: frozenset[str] = frozenset()
+    for index, dataset in enumerate(datasets):
+        blocks.extend(dataset.blocks)
+        mev.absorb(dataset.mev)
+        if index > 0:
+            for name, relay in dataset.relays.items():
+                if name in relays:
+                    relays[name].data.absorb(relay.data)
+                else:
+                    relays[name] = relay
+        total_blocks += dataset.inventory.blocks
+        total_txs += dataset.inventory.transactions
+        total_logs += dataset.inventory.logs
+        total_traces += dataset.inventory.traces
+        total_arrivals += dataset.inventory.mempool_arrival_times
+        compliant = compliant | dataset.compliant_relays
+    blocks.sort(key=lambda obs: obs.number)
+    inventory = DatasetInventory(
+        blocks=total_blocks,
+        transactions=total_txs,
+        logs=total_logs,
+        traces=total_traces,
+        mev_labels_by_source=mev.per_source_counts(),
+        mev_labels_union=len(mev),
+        mempool_arrival_times=total_arrivals,
+        # Recomputed from the merged stores (not summed) so registration
+        # dedup across segments keeps Table 1 consistent with the API rows.
+        relay_data_entries=sum(
+            relay.data.total_entries() for relay in relays.values()
+        ),
+        ofac_addresses=first.inventory.ofac_addresses,
+    )
+    return StudyDataset(
+        blocks=blocks,
+        mev=mev,
+        relays=relays,
+        sanctions=first.sanctions,
+        inventory=inventory,
+        compliant_relays=compliant,
+    )
+
+
 def _detect_builder_payment(block, proposer_fee_recipient) -> Wei:
     """The PBS payment convention: last tx pays the proposer's recipient."""
     last_tx = block.last_transaction

@@ -92,6 +92,27 @@ class MevDataset:
                 added.append(label)
         return added
 
+    def absorb(self, other: "MevDataset") -> None:
+        """Union another dataset's labels into this one (segment merge).
+
+        Labels keep first-seen-wins semantics on ``(tx_hash, kind)`` —
+        across epoch segments keys never collide (transaction hashes are
+        segment-unique), so this is a pure concatenation plus summed
+        per-source counts.
+        """
+        for name, count in other._per_source_counts.items():
+            self._per_source_counts[name] = (
+                self._per_source_counts.get(name, 0) + count
+            )
+        for label in other._labels:
+            key = (label.tx_hash, label.kind)
+            if key in self._by_key:
+                continue
+            self._by_key[key] = label
+            self._labels.append(label)
+            self._by_tx.setdefault(label.tx_hash, []).append(label)
+            self._by_block.setdefault(label.block_number, []).append(label)
+
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:

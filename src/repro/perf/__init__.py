@@ -10,6 +10,9 @@ the parallel slot-auction work:
 * :mod:`repro.perf.artifacts` — the persistent study-dataset artifact
   cache keyed by a :class:`~repro.simulation.config.SimulationConfig`
   content hash.
+* :mod:`repro.perf.sharding` — process-sharded epoch-segment execution
+  (``SimulationConfig.segment_days`` / ``shard_workers``) with a
+  deterministic, worker-count-invariant merge.
 
 Everything here is deterministic-by-construction: enabling any of it must
 never change a simulated world's bit-identical outcome for a given seed.
@@ -23,13 +26,18 @@ from .artifacts import (
 )
 from .metrics import PerfRegistry
 from .parallel import BuildWorkerPool, warm_builder_caches
+from .sharding import ShardedRun, ShardWorkerPool, host_cpu_count, run_sharded
 
 __all__ = [
     "BuildWorkerPool",
     "PerfRegistry",
+    "ShardedRun",
+    "ShardWorkerPool",
     "config_content_hash",
     "default_cache_dir",
+    "host_cpu_count",
     "load_study_artifact",
+    "run_sharded",
     "save_study_artifact",
     "warm_builder_caches",
 ]

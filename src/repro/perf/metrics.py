@@ -59,3 +59,24 @@ class PerfRegistry:
             self.timers[name] += value
         for name, value in other.counters.items():
             self.counters[name] += value
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` payload into this registry.
+
+        The cross-process aggregation path: worker processes ship plain
+        ``snapshot()`` dicts back with their segment deltas, and the
+        parent folds them in here — so ratios like ``builder_phase_share``
+        stay accurate under sharding (every worker's builder-phase seconds
+        and slot-loop seconds are summed before the division).
+        """
+        for name, value in snapshot.get("timers_seconds", {}).items():
+            self.timers[name] += float(value)
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] += int(value)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "PerfRegistry":
+        """Rebuild a registry from a :meth:`snapshot` payload."""
+        registry = cls()
+        registry.merge_snapshot(snapshot)
+        return registry

@@ -33,7 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class BuildWorkerPool:
-    """A lazily created, reusable thread pool for the warm pass."""
+    """A lazily created, reusable thread pool for the warm pass.
+
+    Owners are responsible for the executor's lifetime: either use the
+    pool as a context manager or call :meth:`shutdown` (idempotent) on
+    every exit path — ``World.run`` does so in a ``finally`` block, so a
+    world that raises mid-run no longer leaks its worker threads.
+    """
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
@@ -52,6 +58,12 @@ class BuildWorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def __enter__(self) -> "BuildWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
 
 def warm_builder_caches(

@@ -83,12 +83,31 @@ class SimulationConfig:
     # speculative fork (False restores fork-per-transaction baseline mode).
     engine_fast_path: bool = True
 
+    # Epoch-segment sharding.  ``segment_days > 0`` partitions the study
+    # window into independent epoch segments of that many days, each with
+    # its own RNG streams derived from the root seed; ``shard_workers``
+    # executes segments across processes.  The segment *plan* depends only
+    # on (num_days, segment_days), never on the worker count, so a sharded
+    # run's digest is bit-identical at any ``shard_workers`` setting (the
+    # differential replay matrix enforces it).  ``segment_days = 0`` keeps
+    # the legacy single-segment run, digest-compatible with every earlier
+    # revision.
+    segment_days: int = 0
+    shard_workers: int = 1
+
+    # Lift the ``num_days <= STUDY_NUM_DAYS`` study-window cap so
+    # multi-year worlds become a supported workload.  Off by default: the
+    # paper-reproduction scenarios all live inside the study window, and
+    # the calibration curves are flat-extrapolated beyond it.
+    extended_horizon: bool = False
+
     def __post_init__(self) -> None:
         if self.num_days <= 0:
             raise ConfigError("num_days must be positive")
-        if self.num_days > STUDY_NUM_DAYS:
+        if self.num_days > STUDY_NUM_DAYS and not self.extended_horizon:
             raise ConfigError(
-                f"num_days cannot exceed the study window ({STUDY_NUM_DAYS})"
+                f"num_days cannot exceed the study window ({STUDY_NUM_DAYS}) "
+                "unless extended_horizon=True"
             )
         if self.blocks_per_day <= 0:
             raise ConfigError("blocks_per_day must be positive")
@@ -111,10 +130,27 @@ class SimulationConfig:
             raise ConfigError("swap and token shares exceed the whole workload")
         if self.build_workers < 1:
             raise ConfigError("build_workers must be at least 1")
+        if self.segment_days < 0:
+            raise ConfigError("segment_days cannot be negative")
+        if self.shard_workers < 1:
+            raise ConfigError("shard_workers must be at least 1")
+        if self.shard_workers > 1 and self.segment_days <= 0:
+            raise ConfigError(
+                "shard_workers > 1 requires segment_days > 0: the segment "
+                "plan must be fixed by the config, not the worker count, "
+                "so that digests are worker-count-invariant"
+            )
 
     @property
     def total_slots(self) -> int:
         return self.num_days * self.blocks_per_day
+
+    @property
+    def num_segments(self) -> int:
+        """Segments in this config's epoch-segment plan (1 = unsegmented)."""
+        if self.segment_days <= 0:
+            return 1
+        return -(-self.num_days // self.segment_days)
 
     @property
     def seconds_per_simulated_slot(self) -> float:

@@ -67,6 +67,7 @@ from .entities import (
     long_tail_start_day,
 )
 from .events import Timeline, default_timeline
+from .segments import SEGMENT_STREAM_SALT, SegmentSpec
 
 _SECONDS_PER_DAY = 86_400
 _MEMPOOL_TTL_SECONDS = 0.75 * _SECONDS_PER_DAY
@@ -97,11 +98,34 @@ class SlotRecord:
 
 
 class World:
-    """A fully wired simulated world; call :meth:`run` to advance it."""
+    """A fully wired simulated world; call :meth:`run` to advance it.
 
-    def __init__(self, config: SimulationConfig, timeline: Timeline | None = None):
+    With ``segment`` given, the world is the epoch segment's independent
+    sub-simulation: it covers only ``[segment.day_start, segment.day_end)``
+    with absolute day/slot/block numbering, shares populations (derived
+    from the root seed alone) with every sibling segment, and draws its
+    dynamic randomness from streams derived from ``(seed, segment.index)``
+    so segments never consume each other's draws.  Without ``segment``
+    (or with the degenerate full-range segment) the world is bit-identical
+    to the legacy unsegmented run.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        timeline: Timeline | None = None,
+        segment: "SegmentSpec | None" = None,
+    ):
         self.config = config
         self.timeline = timeline or default_timeline()
+        if segment is not None and segment.covers_all:
+            segment = None  # degenerate plan: take the legacy path exactly
+        self.segment = segment
+        self._day_start = segment.day_start if segment is not None else 0
+        self._day_end = (
+            segment.day_end if segment is not None else config.num_days
+        )
+        self._slot_start = self._day_start * config.blocks_per_day
         seed_seq = np.random.SeedSequence(config.seed)
         (
             seq_network,
@@ -112,6 +136,21 @@ class World:
             seq_auction,
             seq_lending,
         ) = seed_seq.spawn(7)
+        if segment is not None:
+            # Per-segment dynamic streams: derived from the root seed and
+            # the segment index only, so any process can run any segment
+            # and draw the same sequence.  Population streams (network,
+            # entities) stay root-derived: every segment sees the same
+            # actors.
+            (
+                seq_oracle,
+                seq_txgen,
+                seq_searchers,
+                seq_auction,
+                seq_lending,
+            ) = np.random.SeedSequence(
+                [config.seed, SEGMENT_STREAM_SALT, segment.index]
+            ).spawn(5)
         self._rng_oracle = np.random.default_rng(seq_oracle)
         self._rng_txgen = np.random.default_rng(seq_txgen)
         self._rng_searchers = np.random.default_rng(seq_searchers)
@@ -134,7 +173,11 @@ class World:
         self.state = WorldState()
         self.engine = ExecutionEngine(fast_single_action=config.engine_fast_path)
         self.canonical_ctx = ExecutionContext(state=self.state, protocols=self.defi)
-        self.chain = Chain(first_block_number=MERGE_BLOCK_NUMBER)
+        # Segment block numbering derives from the slot offset: segments
+        # are independent by construction, so segment N cannot know how
+        # many slots segments < N missed.  Numbers stay globally unique
+        # and ordered across the merged run.
+        self.chain = Chain(first_block_number=MERGE_BLOCK_NUMBER + self._slot_start)
         self.tx_factory = TransactionFactory()
 
         # Performance machinery (never changes simulated outcomes).
@@ -622,29 +665,43 @@ class World:
     # ------------------------------------------------------------------
 
     def run(self) -> "World":
-        """Advance the world through the configured study window."""
+        """Advance the world through its day range (segment or full window)."""
         if self._has_run:
             return self
         self._has_run = True
+        try:
+            with self.perf.timer("slot_loop"):
+                self.advance_days(self._day_start, self._day_end)
+        finally:
+            # The warm-pass executor must die with the run, success or
+            # not — a leaked thread pool per world was a measured leak in
+            # matrix-style callers that build many worlds.
+            if self.worker_pool is not None:
+                self.worker_pool.shutdown()
+        return self
+
+    def advance_days(self, day_start: int, day_end: int) -> None:
+        """Advance through ``[day_start, day_end)`` with absolute numbering.
+
+        The checkpointable core of :meth:`run`: day, slot and timestamp
+        arithmetic all use absolute indices, so a segment world covering
+        ``[40, 80)`` produces slots numbered exactly as the same days of a
+        full-window run would.
+        """
         config = self.config
         slot_seconds = config.seconds_per_simulated_slot
-        global_index = 0
-        with self.perf.timer("slot_loop"):
-            for day in range(config.num_days):
-                self._advance_day(day)
-                date = MERGE_DATE + datetime.timedelta(days=day)
-                for slot_in_day in range(config.blocks_per_day):
-                    slot = MERGE_SLOT + global_index
-                    slot_time = (
-                        _GENESIS_TIME
-                        + day * _SECONDS_PER_DAY
-                        + slot_in_day * slot_seconds
-                    )
-                    self._run_slot(slot, day, date, slot_time, global_index)
-                    global_index += 1
-        if self.worker_pool is not None:
-            self.worker_pool.shutdown()
-        return self
+        for day in range(day_start, day_end):
+            self._advance_day(day)
+            date = MERGE_DATE + datetime.timedelta(days=day)
+            for slot_in_day in range(config.blocks_per_day):
+                global_index = day * config.blocks_per_day + slot_in_day
+                slot = MERGE_SLOT + global_index
+                slot_time = (
+                    _GENESIS_TIME
+                    + day * _SECONDS_PER_DAY
+                    + slot_in_day * slot_seconds
+                )
+                self._run_slot(slot, day, date, slot_time, global_index)
 
     def _run_slot(
         self,

@@ -17,9 +17,12 @@ measurement pipeline safe:
 
 from .differential import (
     DEFAULT_CASES,
+    GROUP_DEFAULT,
+    GROUP_SHARDED,
     ReplayCase,
     ReplayReport,
     run_replay_matrix,
+    sharded_cases,
 )
 from .oracles import (
     OracleFinding,
@@ -43,6 +46,9 @@ __all__ = [
     "DEFAULT_CASES",
     "DetectedAnomaly",
     "FaultSpec",
+    "GROUP_DEFAULT",
+    "GROUP_SHARDED",
+    "sharded_cases",
     "OracleFinding",
     "OracleReport",
     "ReplayCase",

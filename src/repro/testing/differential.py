@@ -1,14 +1,24 @@
 """Differential replay: one seeded scenario, every perf configuration.
 
 The simulator's performance knobs (shared execution cache, parallel
-cache-warming workers, lazy protocol forks, the engine fast path) promise
-to never change simulated outcomes.  This module turns that promise into
-a reusable matrix: the same seeded config (optionally perturbed by
-scenario faults) is re-run under each :class:`ReplayCase` and every run
-must produce a bit-identical world digest, a bit-identical collected
-dataset digest, and an oracle-violation-free result.  The artifact cache
-is exercised too: a cold save followed by a warm load must round-trip
-the dataset digest exactly.
+cache-warming workers, lazy protocol forks, the engine fast path, and
+process-sharded epoch segments) promise to never change simulated
+outcomes.  This module turns that promise into a reusable matrix: the
+same seeded config (optionally perturbed by scenario faults) is re-run
+under each :class:`ReplayCase` and every run must produce a bit-identical
+world digest, a bit-identical collected dataset digest, and an
+oracle-violation-free result.  The artifact cache is exercised too: a
+cold save followed by a warm load must round-trip the dataset digest
+exactly.
+
+Cases carry a *digest group*: all cases in a group must agree with each
+other.  The ``default`` group covers the legacy unsegmented run under
+every in-process knob; the ``sharded`` group covers the epoch-segment
+plan under every process-worker count (``shard_workers`` ∈ {1, 2, 4} ×
+exec-cache on/off).  Segmentation legitimately re-derives per-segment
+RNG streams, so the two groups describe two (each internally
+bit-identical) worlds — the sharded invariant is that worker count and
+in-process knobs never matter for a fixed segment plan.
 """
 
 from __future__ import annotations
@@ -20,10 +30,14 @@ from typing import Any
 from ..datasets.collector import collect_study_dataset
 from ..errors import ConformanceError
 from ..perf.artifacts import load_study_artifact, save_study_artifact
+from ..perf.sharding import run_sharded
 from ..simulation.config import SimulationConfig
 from ..simulation.world import build_world
 from .oracles import run_oracles
 from .scenarios import FaultSpec, apply_fault
+
+GROUP_DEFAULT = "default"
+GROUP_SHARDED = "sharded"
 
 
 @dataclass(frozen=True)
@@ -32,6 +46,10 @@ class ReplayCase:
 
     name: str
     overrides: tuple[tuple[str, Any], ...] = ()
+    #: Digest-equality group: cases compare only against their group's
+    #: first case.  Segmented plans form their own group because their
+    #: per-segment RNG streams legitimately differ from the legacy run.
+    group: str = GROUP_DEFAULT
 
 
 #: The shipped matrix: exec-cache on/off x build workers 1/4, plus the
@@ -55,6 +73,43 @@ DEFAULT_CASES: tuple[ReplayCase, ...] = (
 )
 
 
+def sharded_cases(segment_days: int) -> tuple[ReplayCase, ...]:
+    """The process-sharding wing of the matrix for one segment plan.
+
+    One fixed ``segment_days`` across every case — the plan must be
+    identical or the digests have no reason to agree — crossed with
+    process-worker counts {1, 2, 4} and the exec cache on/off.
+    """
+    if segment_days <= 0:
+        raise ConformanceError("sharded cases need segment_days > 0")
+    seg = ("segment_days", segment_days)
+    return (
+        ReplayCase(
+            name="sharded-serial", overrides=(seg,), group=GROUP_SHARDED
+        ),
+        ReplayCase(
+            name="sharded-workers-2",
+            overrides=(seg, ("shard_workers", 2)),
+            group=GROUP_SHARDED,
+        ),
+        ReplayCase(
+            name="sharded-workers-4",
+            overrides=(seg, ("shard_workers", 4)),
+            group=GROUP_SHARDED,
+        ),
+        ReplayCase(
+            name="sharded-cache-off",
+            overrides=(seg, ("enable_exec_cache", False)),
+            group=GROUP_SHARDED,
+        ),
+        ReplayCase(
+            name="sharded-cache-off-workers-4",
+            overrides=(seg, ("shard_workers", 4), ("enable_exec_cache", False)),
+            group=GROUP_SHARDED,
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class CaseResult:
     """Digests and oracle outcome of one matrix cell."""
@@ -72,25 +127,44 @@ class ReplayReport:
     config: SimulationConfig
     results: tuple[CaseResult, ...]
     faults: tuple[FaultSpec, ...] = ()
-    #: Dataset digest after a cold artifact save + warm load round-trip
-    #: (None when no artifact directory was provided or faults are active).
-    artifact_roundtrip_digest: str | None = None
+    #: Dataset digest after a cold artifact save + warm load round-trip,
+    #: per digest group (empty when no artifact directory was provided or
+    #: faults are active).
+    artifact_roundtrip_digests: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def artifact_roundtrip_digest(self) -> str | None:
+        """The default group's round-trip digest (legacy accessor)."""
+        return self.artifact_roundtrip_digests.get(GROUP_DEFAULT)
+
+    def _grouped(self) -> dict[str, list[CaseResult]]:
+        groups: dict[str, list[CaseResult]] = {}
+        for result in self.results:
+            groups.setdefault(result.case.group, []).append(result)
+        return groups
 
     def problems(self) -> list[str]:
         problems: list[str] = []
         if not self.results:
             return ["replay matrix ran no cases"]
-        reference = self.results[0]
-        for result in self.results[1:]:
-            if result.world_digest != reference.world_digest:
+        for group, results in self._grouped().items():
+            reference = results[0]
+            for result in results[1:]:
+                if result.world_digest != reference.world_digest:
+                    problems.append(
+                        f"case {result.case.name!r} world digest diverged "
+                        f"from {reference.case.name!r} (group {group!r})"
+                    )
+                if result.dataset_digest != reference.dataset_digest:
+                    problems.append(
+                        f"case {result.case.name!r} dataset digest diverged "
+                        f"from {reference.case.name!r} (group {group!r})"
+                    )
+            roundtrip = self.artifact_roundtrip_digests.get(group)
+            if roundtrip is not None and roundtrip != reference.dataset_digest:
                 problems.append(
-                    f"case {result.case.name!r} world digest diverged from "
-                    f"{reference.case.name!r}"
-                )
-            if result.dataset_digest != reference.dataset_digest:
-                problems.append(
-                    f"case {result.case.name!r} dataset digest diverged "
-                    f"from {reference.case.name!r}"
+                    f"artifact cache round-trip changed the dataset digest "
+                    f"(group {group!r})"
                 )
         for result in self.results:
             if result.oracle_violations:
@@ -98,13 +172,6 @@ class ReplayReport:
                     f"case {result.case.name!r} has "
                     f"{result.oracle_violations} oracle violation(s)"
                 )
-        if (
-            self.artifact_roundtrip_digest is not None
-            and self.artifact_roundtrip_digest != reference.dataset_digest
-        ):
-            problems.append(
-                "artifact cache round-trip changed the dataset digest"
-            )
         return problems
 
     @property
@@ -120,6 +187,33 @@ class ReplayReport:
             )
 
 
+def _run_case(
+    case_config: SimulationConfig,
+    faults: tuple[FaultSpec, ...],
+    check_oracles: bool,
+):
+    """Execute one matrix cell; returns (world digest, dataset, violations).
+
+    Segmented configs route through the sharded executor (whatever the
+    worker count — serial segmented execution must match process-pooled
+    execution bit for bit); unsegmented configs use the legacy in-process
+    path unchanged.
+    """
+    if case_config.segment_days > 0 or case_config.shard_workers > 1:
+        run = run_sharded(case_config, faults=faults, check_oracles=check_oracles)
+        violations = run.oracle_violations if check_oracles else 0
+        return run.digest(), run.dataset, violations or 0
+    world = build_world(case_config)
+    for spec in faults:
+        apply_fault(world, spec)
+    world.run()
+    dataset = collect_study_dataset(world)
+    violations = 0
+    if check_oracles:
+        violations = len(run_oracles(world, dataset).violations)
+    return world.digest(), dataset, violations
+
+
 def run_replay_matrix(
     config: SimulationConfig,
     cases: tuple[ReplayCase, ...] = DEFAULT_CASES,
@@ -129,46 +223,46 @@ def run_replay_matrix(
 ) -> ReplayReport:
     """Run ``config`` under every case; collect digests and oracle results.
 
-    ``faults`` are applied identically to every case, so fault-injection
-    scenarios are covered by the same determinism guarantee as clean
-    runs.  When ``artifact_dir`` is given (and no faults are active —
-    artifacts cache pure functions of the config only), the reference
-    case's dataset is saved cold and re-loaded warm, and the round-trip
-    digest is recorded for :meth:`ReplayReport.problems` to compare.
+    ``faults`` are applied identically to every case (inside each segment
+    worker for sharded cases), so fault-injection scenarios are covered
+    by the same determinism guarantee as clean runs.  When
+    ``artifact_dir`` is given (and no faults are active — artifacts cache
+    pure functions of the config only), the first case of every digest
+    group has its dataset saved cold and re-loaded warm, and the
+    round-trip digest is recorded for :meth:`ReplayReport.problems` to
+    compare.
     """
     results: list[CaseResult] = []
-    roundtrip: str | None = None
-    for index, case in enumerate(cases):
+    roundtrips: dict[str, str] = {}
+    seen_groups: set[str] = set()
+    for case in cases:
         case_config = (
             config.with_overrides(**dict(case.overrides))
             if case.overrides
             else config
         )
-        world = build_world(case_config)
-        for spec in faults:
-            apply_fault(world, spec)
-        world.run()
-        dataset = collect_study_dataset(world)
-        violations = 0
-        if check_oracles:
-            violations = len(run_oracles(world, dataset).violations)
+        world_digest, dataset, violations = _run_case(
+            case_config, faults, check_oracles
+        )
         results.append(
             CaseResult(
                 case=case,
-                world_digest=world.digest(),
+                world_digest=world_digest,
                 dataset_digest=dataset.content_digest(),
                 oracle_violations=violations,
             )
         )
-        if index == 0 and artifact_dir is not None and not faults:
+        first_of_group = case.group not in seen_groups
+        seen_groups.add(case.group)
+        if first_of_group and artifact_dir is not None and not faults:
             save_study_artifact(case_config, dataset, cache_dir=artifact_dir)
             reloaded = load_study_artifact(case_config, cache_dir=artifact_dir)
-            roundtrip = (
+            roundtrips[case.group] = (
                 reloaded.content_digest() if reloaded is not None else "<miss>"
             )
     return ReplayReport(
         config=config,
         results=tuple(results),
         faults=faults,
-        artifact_roundtrip_digest=roundtrip,
+        artifact_roundtrip_digests=roundtrips,
     )

@@ -2,9 +2,11 @@
 
 Same seed → bit-identical world digest, regardless of the shared
 execution cache, the engine fast path, lazy protocol forks, or the
-number of build workers.  The heavy lifting lives in the conformance
-harness's differential replay matrix (``repro.testing.differential``);
-this module pins the perf contract through it.
+number of build workers — and, for a fixed epoch-segment plan,
+regardless of the number of *process* shard workers.  The heavy lifting
+lives in the conformance harness's differential replay matrix
+(``repro.testing.differential``); this module pins the perf contract
+through it.
 """
 
 from __future__ import annotations
@@ -12,13 +14,19 @@ from __future__ import annotations
 import pytest
 
 from repro.simulation.config import small_test_config
-from repro.testing.differential import run_replay_matrix
+from repro.testing.differential import (
+    DEFAULT_CASES,
+    GROUP_SHARDED,
+    run_replay_matrix,
+    sharded_cases,
+)
 
 
 @pytest.fixture(scope="module")
 def replay_report(tmp_path_factory):
     return run_replay_matrix(
         small_test_config(num_days=4, blocks_per_day=6),
+        cases=DEFAULT_CASES + sharded_cases(segment_days=2),
         artifact_dir=tmp_path_factory.mktemp("determinism-artifacts"),
     )
 
@@ -56,3 +64,40 @@ def test_artifact_cache_round_trips(replay_report):
         replay_report.artifact_roundtrip_digest
         == replay_report.results[0].dataset_digest
     )
+
+
+# -- process-sharded epoch segments ----------------------------------------
+
+
+def test_shard_worker_count_invariant(replay_report):
+    """{1, 2, 4} process workers over one segment plan: same digests."""
+    by_name = {r.case.name: r for r in replay_report.results}
+    reference = by_name["sharded-serial"]
+    for name in ("sharded-workers-2", "sharded-workers-4"):
+        assert by_name[name].world_digest == reference.world_digest
+        assert by_name[name].dataset_digest == reference.dataset_digest
+
+
+def test_sharded_exec_cache_invariant(replay_report):
+    by_name = {r.case.name: r for r in replay_report.results}
+    reference = by_name["sharded-serial"]
+    for name in ("sharded-cache-off", "sharded-cache-off-workers-4"):
+        assert by_name[name].world_digest == reference.world_digest
+        assert by_name[name].dataset_digest == reference.dataset_digest
+
+
+def test_sharded_artifact_cache_round_trips(replay_report):
+    sharded = [
+        r for r in replay_report.results if r.case.group == GROUP_SHARDED
+    ]
+    assert sharded, "matrix ran no sharded cases"
+    assert (
+        replay_report.artifact_roundtrip_digests[GROUP_SHARDED]
+        == sharded[0].dataset_digest
+    )
+
+
+def test_sharded_runs_are_oracle_clean(replay_report):
+    for result in replay_report.results:
+        if result.case.group == GROUP_SHARDED:
+            assert result.oracle_violations == 0

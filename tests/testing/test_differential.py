@@ -14,6 +14,8 @@ from repro.errors import ConformanceError
 from repro.simulation.config import small_test_config
 from repro.testing.differential import (
     DEFAULT_CASES,
+    GROUP_DEFAULT,
+    GROUP_SHARDED,
     CaseResult,
     ReplayCase,
     ReplayReport,
@@ -71,9 +73,9 @@ class TestFaultedMatrix:
         assert list(tmp_path.iterdir()) == []
 
 
-def _case_result(name, world="w", dataset="d", violations=0):
+def _case_result(name, world="w", dataset="d", violations=0, group=GROUP_DEFAULT):
     return CaseResult(
-        case=ReplayCase(name=name),
+        case=ReplayCase(name=name, group=group),
         world_digest=world,
         dataset_digest=dataset,
         oracle_violations=violations,
@@ -111,7 +113,7 @@ class TestReportVerdicts:
         report = ReplayReport(
             config=CONFIG,
             results=(_case_result("ref"),),
-            artifact_roundtrip_digest="stale",
+            artifact_roundtrip_digests={GROUP_DEFAULT: "stale"},
         )
         assert any("round-trip" in p for p in report.problems())
 
@@ -119,6 +121,27 @@ class TestReportVerdicts:
         report = ReplayReport(
             config=CONFIG,
             results=(_case_result("ref"), _case_result("other")),
-            artifact_roundtrip_digest="d",
+            artifact_roundtrip_digests={GROUP_DEFAULT: "d"},
         )
         assert report.ok
+
+    def test_groups_compare_independently(self):
+        """Digest divergence *across* groups is expected, not a problem."""
+        report = ReplayReport(
+            config=CONFIG,
+            results=(
+                _case_result("ref"),
+                _case_result("seg", world="w2", dataset="d2", group=GROUP_SHARDED),
+            ),
+        )
+        assert report.ok
+
+    def test_divergence_within_sharded_group_flagged(self):
+        report = ReplayReport(
+            config=CONFIG,
+            results=(
+                _case_result("seg-1", group=GROUP_SHARDED),
+                _case_result("seg-2", world="w2", group=GROUP_SHARDED),
+            ),
+        )
+        assert any("group 'sharded'" in p for p in report.problems())
