@@ -1,0 +1,81 @@
+"""CI smoke check for the two study-artifact formats (DESIGN.md §6d).
+
+Builds a small world, saves the collected dataset both ways — columnar
+(``.npz`` columns + pickled remainder) and as a pickled object-backed
+dataset — and asserts that
+
+* both round-trips preserve ``content_digest()`` bit for bit, and
+* the columnar warm load (mmap over the ``.npz``) beats unpickling the
+  whole object graph.
+
+Run as ``PYTHONPATH=src python benchmarks/check_artifact_formats.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datasets import collect_study_dataset
+from repro.datasets.columnar import LazyBlockList
+from repro.perf.artifacts import load_study_artifact, save_study_artifact
+from repro.simulation import SimulationConfig, build_world
+
+
+def _best_load_seconds(config, cache_dir: Path, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        loaded = load_study_artifact(config, cache_dir)
+        best = min(best, time.perf_counter() - start)
+        assert loaded is not None, "artifact failed to load"
+    return best
+
+
+def main() -> None:
+    config = SimulationConfig(seed=7, num_days=30, blocks_per_day=24)
+    world = build_world(config).run()
+    dataset = collect_study_dataset(world)
+    digest = dataset.content_digest()
+
+    object_config = dataclasses.replace(config, dataset_backend="object")
+    object_dataset = dataclasses.replace(
+        dataset, blocks=list(dataset.blocks)
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-artifact-ci-") as tmp:
+        cache_dir = Path(tmp)
+        save_study_artifact(config, dataset, cache_dir)
+        save_study_artifact(object_config, object_dataset, cache_dir)
+
+        columnar = load_study_artifact(config, cache_dir)
+        pickled = load_study_artifact(object_config, cache_dir)
+        assert columnar is not None and pickled is not None
+        assert isinstance(columnar.blocks, LazyBlockList), (
+            "columnar artifact did not come back mmap-backed"
+        )
+        assert columnar.content_digest() == digest, (
+            "columnar round-trip changed the dataset digest"
+        )
+        assert pickled.content_digest() == digest, (
+            "pickle round-trip changed the dataset digest"
+        )
+
+        columnar_secs = _best_load_seconds(config, cache_dir)
+        pickle_secs = _best_load_seconds(object_config, cache_dir)
+
+    print(
+        f"columnar warm load {columnar_secs * 1000:.2f} ms, "
+        f"pickle warm load {pickle_secs * 1000:.2f} ms "
+        f"({pickle_secs / columnar_secs:.2f}x)"
+    )
+    assert columnar_secs < pickle_secs, (
+        f"columnar warm load ({columnar_secs:.4f}s) should beat the "
+        f"pickled object graph ({pickle_secs:.4f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,17 +7,23 @@ the union rule the paper uses (99.6% relay-claimed, 92% with payment).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..datasets.collector import StudyDataset
-from .timeseries import DailySeries, daily_series
+from .timeseries import DailySeries, by_date_order, day_slices
 
 
 def daily_pbs_share(dataset: StudyDataset) -> DailySeries:
     """Share of each day's blocks built through PBS."""
-    return daily_series(
-        "PBS share",
-        dataset.blocks,
-        lambda day_blocks: sum(obs.is_pbs for obs in day_blocks) / len(day_blocks),
+    table = dataset.table
+    ordinals, (is_pbs,) = by_date_order(table.date_ordinal, [table.is_pbs])
+    dates, starts, ends = day_slices(ordinals)
+    counts = np.add.reduceat(is_pbs.astype(np.int64), starts) if len(starts) else []
+    values = tuple(
+        float(count / (end - start))
+        for count, start, end in zip(counts, starts, ends)
     )
+    return DailySeries("PBS share", dates, values)
 
 
 def identification_rule_breakdown(dataset: StudyDataset) -> dict[str, float]:
@@ -26,23 +32,24 @@ def identification_rule_breakdown(dataset: StudyDataset) -> dict[str, float]:
     Returns shares of PBS blocks that are relay-claimed, that carry the
     payment convention, and that carry neither-rule overlap diagnostics.
     """
-    pbs = dataset.pbs_blocks()
-    if not pbs:
+    table = dataset.table
+    pbs = table.is_pbs
+    total = int(pbs.sum())
+    if not total:
         return {
             "relay_claimed": 0.0,
             "payment_convention": 0.0,
             "payment_missing_same_recipient": 0.0,
         }
-    relay_claimed = sum(obs.relay_claimed for obs in pbs)
-    with_payment = sum(obs.has_pbs_payment for obs in pbs)
-    missing_payment = [obs for obs in pbs if not obs.has_pbs_payment]
-    same_recipient = sum(
-        obs.fee_recipient == obs.proposer_fee_recipient for obs in missing_payment
-    )
+    relay_claimed = int((pbs & table.relay_claimed).sum())
+    with_payment = int((pbs & table.has_pbs_payment).sum())
+    missing = pbs & ~table.has_pbs_payment
+    missing_total = int(missing.sum())
+    same_recipient = int((missing & ~table.recipient_mismatch).sum())
     return {
-        "relay_claimed": relay_claimed / len(pbs),
-        "payment_convention": with_payment / len(pbs),
+        "relay_claimed": relay_claimed / total,
+        "payment_convention": with_payment / total,
         "payment_missing_same_recipient": (
-            same_recipient / len(missing_payment) if missing_payment else 1.0
+            same_recipient / missing_total if missing_total else 1.0
         ),
     }

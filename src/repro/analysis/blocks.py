@@ -3,6 +3,9 @@
 PBS vs non-PBS comparisons of block value (Fig. 9), proposer profit
 percentiles (Fig. 10), block size in gas (Fig. 13), and the share of
 privately received transactions (Fig. 14).
+
+Per-element expressions are computed once over whole columns; the only
+Python-level loop left is over the ~198 study days.
 """
 
 from __future__ import annotations
@@ -13,9 +16,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..datasets.collector import StudyDataset
-from ..datasets.records import BlockObservation
-from ..types import to_ether
-from .timeseries import DailySeries, group_by_date
+from ..datasets.columnar import exact_segment_sums
+from .timeseries import DailySeries, by_date_order, day_slices
 
 
 @dataclass(frozen=True)
@@ -32,19 +34,29 @@ class PercentileSeries:
         return DailySeries(self.name, self.dates, self.p50)
 
 
-def _split(dataset: StudyDataset) -> tuple[list[BlockObservation], list[BlockObservation]]:
-    return dataset.pbs_blocks(), dataset.non_pbs_blocks()
+def _mask_split(dataset: StudyDataset):
+    is_pbs = dataset.table.is_pbs
+    return (("PBS", is_pbs), ("non-PBS", ~is_pbs))
+
+
+def _masked_days(dataset: StudyDataset, mask: np.ndarray, values: np.ndarray):
+    """Day slices of ``values`` restricted to ``mask`` rows."""
+    index = np.flatnonzero(mask)
+    ordinals, (selected,) = by_date_order(
+        dataset.table.date_ordinal[index], [values[index]]
+    )
+    return day_slices(ordinals), selected
 
 
 def daily_block_value(dataset: StudyDataset) -> tuple[DailySeries, DailySeries]:
     """Daily mean block value in ETH for PBS and non-PBS blocks (Fig. 9)."""
+    eth = dataset.table.ether("block_value_wei")
     series = []
-    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
-        buckets = group_by_date(blocks)
-        dates = tuple(buckets)
+    for name, mask in _mask_split(dataset):
+        (dates, starts, ends), selected = _masked_days(dataset, mask, eth)
         values = tuple(
-            float(np.mean([to_ether(obs.block_value_wei) for obs in day_blocks]))
-            for day_blocks in buckets.values()
+            float(np.mean(selected[start:end]))
+            for start, end in zip(starts, ends)
         )
         series.append(DailySeries(f"{name} block value [ETH]", dates, values))
     return series[0], series[1]
@@ -54,16 +66,16 @@ def daily_proposer_profit(
     dataset: StudyDataset,
 ) -> tuple[PercentileSeries, PercentileSeries]:
     """Daily proposer-profit percentiles, PBS vs non-PBS (Fig. 10)."""
+    eth = dataset.table.ether("proposer_profit_wei")
     result = []
-    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
-        buckets = group_by_date(blocks)
-        dates = tuple(buckets)
+    for name, mask in _mask_split(dataset):
+        (dates, starts, ends), selected = _masked_days(dataset, mask, eth)
         p25, p50, p75 = [], [], []
-        for day_blocks in buckets.values():
-            profits = [to_ether(obs.proposer_profit_wei) for obs in day_blocks]
-            p25.append(float(np.percentile(profits, 25)))
-            p50.append(float(np.percentile(profits, 50)))
-            p75.append(float(np.percentile(profits, 75)))
+        for start, end in zip(starts, ends):
+            day_profits = selected[start:end]
+            p25.append(float(np.percentile(day_profits, 25)))
+            p50.append(float(np.percentile(day_profits, 50)))
+            p75.append(float(np.percentile(day_profits, 75)))
         result.append(
             PercentileSeries(
                 f"{name} proposer profit [ETH]",
@@ -83,13 +95,13 @@ def daily_block_size(
 
     Returns (pbs mean, pbs std, non-pbs mean, non-pbs std).
     """
+    gas = dataset.table.col("gas_used").astype(float)
     out: list[DailySeries] = []
-    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
-        buckets = group_by_date(blocks)
-        dates = tuple(buckets)
+    for name, mask in _mask_split(dataset):
+        (dates, starts, ends), selected = _masked_days(dataset, mask, gas)
         means, stds = [], []
-        for day_blocks in buckets.values():
-            sizes = np.asarray([obs.gas_used for obs in day_blocks], dtype=float)
+        for start, end in zip(starts, ends):
+            sizes = selected[start:end]
             means.append(float(sizes.mean()))
             stds.append(float(sizes.std()))
         out.append(DailySeries(f"{name} gas mean", dates, tuple(means)))
@@ -102,16 +114,22 @@ def daily_private_tx_share(
 ) -> tuple[DailySeries, DailySeries]:
     """Daily share of block transactions not seen in the public mempool
     before inclusion, PBS vs non-PBS (Fig. 14)."""
+    table = dataset.table
     series = []
-    for name, blocks in zip(("PBS", "non-PBS"), _split(dataset)):
-        buckets = group_by_date(blocks)
-        dates = tuple(buckets)
-        values = []
-        for day_blocks in buckets.values():
-            txs = sum(obs.tx_count for obs in day_blocks)
-            private = sum(obs.private_tx_count for obs in day_blocks)
-            values.append(private / txs if txs else 0.0)
+    for name, mask in _mask_split(dataset):
+        index = np.flatnonzero(mask)
+        ordinals, (txs, private) = by_date_order(
+            table.date_ordinal[index],
+            [table.col("tx_count")[index], table.col("private_tx_count")[index]],
+        )
+        dates, starts, _ = day_slices(ordinals)
+        tx_sums = exact_segment_sums(txs, starts)
+        private_sums = exact_segment_sums(private, starts)
+        values = tuple(
+            private_sum / tx_sum if tx_sum else 0.0
+            for tx_sum, private_sum in zip(tx_sums, private_sums)
+        )
         series.append(
-            DailySeries(f"{name} private tx share", dates, tuple(values))
+            DailySeries(f"{name} private tx share", dates, values)
         )
     return series[0], series[1]

@@ -4,14 +4,20 @@ The share of PBS blocks produced by OFAC-compliant relays (Fig. 17), the
 daily share of PBS and non-PBS blocks containing non-compliant
 transactions (Fig. 18), and the per-relay sanctioned-block counts of
 Table 4's right side.
+
+Relay membership tests run over the flat ragged ``claim_relays`` column
+(:func:`isin_strings` / :func:`per_segment_counts`), never per object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..datasets.collector import StudyDataset
-from .timeseries import DailySeries, group_by_date
+from ..datasets.columnar import isin_strings, per_segment_counts
+from .timeseries import DailySeries, by_date_order, day_slices
 
 
 def daily_compliant_relay_share(dataset: StudyDataset) -> DailySeries:
@@ -20,19 +26,25 @@ def daily_compliant_relay_share(dataset: StudyDataset) -> DailySeries:
     Multi-relay blocks contribute fractionally, matching the equal-split
     attribution of the relay market-share analysis.
     """
-    compliant = dataset.compliant_relays
-    buckets = group_by_date(
-        [obs for obs in dataset.blocks if obs.relay_claimed]
+    table = dataset.table
+    offsets = table.col("claim_offsets")
+    counts = offsets[1:] - offsets[:-1]
+    member = isin_strings(table.col("claim_relays"), dataset.compliant_relays)
+    compliant_claims = per_segment_counts(member, offsets)
+
+    index = np.flatnonzero(counts > 0)
+    fractions = compliant_claims[index] / counts[index]
+    ordinals, (fractions,) = by_date_order(
+        table.date_ordinal[index], [fractions]
     )
-    dates = tuple(buckets)
-    values = []
-    for day_blocks in buckets.values():
-        weight = 0.0
-        for obs in day_blocks:
-            relays = obs.claimed_by_relay
-            weight += sum(1 for relay in relays if relay in compliant) / len(relays)
-        values.append(weight / len(day_blocks))
-    return DailySeries("OFAC-compliant relay share", dates, tuple(values))
+    dates, starts, ends = day_slices(ordinals)
+    # Sequential (not pairwise) summation of the per-block fractions, so
+    # the day means match the per-object accumulation bit for bit.
+    values = tuple(
+        sum(fractions[start:end].tolist()) / (end - start)
+        for start, end in zip(starts, ends)
+    )
+    return DailySeries("OFAC-compliant relay share", dates, values)
 
 
 def daily_sanctioned_share(
@@ -40,15 +52,22 @@ def daily_sanctioned_share(
 ) -> tuple[DailySeries, DailySeries]:
     """Daily share of blocks containing non-OFAC-compliant transactions,
     PBS vs non-PBS (Fig. 18)."""
+    table = dataset.table
     series = []
-    for name, blocks in zip(
-        ("PBS", "non-PBS"), (dataset.pbs_blocks(), dataset.non_pbs_blocks())
-    ):
-        buckets = group_by_date(blocks)
-        dates = tuple(buckets)
+    for name, mask in (("PBS", table.is_pbs), ("non-PBS", ~table.is_pbs)):
+        index = np.flatnonzero(mask)
+        ordinals, (sanctioned,) = by_date_order(
+            table.date_ordinal[index], [table.is_sanctioned[index]]
+        )
+        dates, starts, ends = day_slices(ordinals)
+        counts = (
+            np.add.reduceat(sanctioned.astype(np.int64), starts)
+            if len(starts)
+            else []
+        )
         values = tuple(
-            sum(obs.is_sanctioned for obs in day_blocks) / len(day_blocks)
-            for day_blocks in buckets.values()
+            float(count / (end - start))
+            for count, start, end in zip(counts, starts, ends)
         )
         series.append(DailySeries(f"{name} sanctioned share", dates, values))
     return series[0], series[1]
@@ -56,13 +75,16 @@ def daily_sanctioned_share(
 
 def overall_sanctioned_shares(dataset: StudyDataset) -> dict[str, float]:
     """Window-level sanctioned-block shares (the paper's 2x headline)."""
-    pbs = dataset.pbs_blocks()
-    non_pbs = dataset.non_pbs_blocks()
+    table = dataset.table
+    pbs = table.is_pbs
+    sanctioned = table.is_sanctioned
+    pbs_total = int(pbs.sum())
+    non_pbs_total = len(table) - pbs_total
     return {
-        "PBS": sum(obs.is_sanctioned for obs in pbs) / len(pbs) if pbs else 0.0,
+        "PBS": int((sanctioned & pbs).sum()) / pbs_total if pbs_total else 0.0,
         "non-PBS": (
-            sum(obs.is_sanctioned for obs in non_pbs) / len(non_pbs)
-            if non_pbs
+            int((sanctioned & ~pbs).sum()) / non_pbs_total
+            if non_pbs_total
             else 0.0
         ),
     }
@@ -84,22 +106,31 @@ class SanctionedRelayRow:
 
 def sanctioned_blocks_by_relay(dataset: StudyDataset) -> list[SanctionedRelayRow]:
     """Sanctioned-block counts per relay over its delivered blocks."""
-    totals: dict[str, int] = {}
-    sanctioned: dict[str, int] = {}
-    for obs in dataset.blocks:
-        for relay in obs.claimed_by_relay:
-            totals[relay] = totals.get(relay, 0) + 1
-            if obs.is_sanctioned:
-                sanctioned[relay] = sanctioned.get(relay, 0) + 1
-    return [
-        SanctionedRelayRow(
-            relay=relay,
-            is_compliant=relay in dataset.compliant_relays,
-            sanctioned_blocks=sanctioned.get(relay, 0),
-            total_blocks=totals[relay],
+    table = dataset.table
+    claim_relays = table.col("claim_relays")
+    if claim_relays.size == 0:
+        return []
+    offsets = table.col("claim_offsets")
+    counts = offsets[1:] - offsets[:-1]
+    # One entry per claim, carrying the claiming block's sanctioned flag.
+    per_claim_sanctioned = np.repeat(table.is_sanctioned, counts)
+    uniques, _, inverse = table.dictionary("claim_relays")
+    totals = np.bincount(inverse, minlength=len(uniques))
+    sanctioned = np.bincount(
+        inverse[per_claim_sanctioned], minlength=len(uniques)
+    )
+    rows = []
+    for i, relay in enumerate(uniques):
+        name = relay.decode("ascii") if isinstance(relay, bytes) else str(relay)
+        rows.append(
+            SanctionedRelayRow(
+                relay=name,
+                is_compliant=name in dataset.compliant_relays,
+                sanctioned_blocks=int(sanctioned[i]),
+                total_blocks=int(totals[i]),
+            )
         )
-        for relay in sorted(totals)
-    ]
+    return rows
 
 
 def sanctioned_inclusion_delay_after_updates(
@@ -108,18 +139,23 @@ def sanctioned_inclusion_delay_after_updates(
     """Share of each compliant relay's sanctioned blocks that fall within
     seven days after an OFAC list update — the paper's "gaps follow
     updates" observation."""
-    update_dates = dataset.sanctions.update_dates()
+    table = dataset.table
+    ordinals = table.date_ordinal
+    near_update = np.zeros(len(table), dtype=bool)
+    for update in dataset.sanctions.update_dates():
+        delta = ordinals - update.toordinal()
+        near_update |= (delta >= 0) & (delta <= 7)
+
+    offsets = table.col("claim_offsets")
+    claim_relays = table.col("claim_relays")
     result: dict[str, float] = {}
     for row in sanctioned_blocks_by_relay(dataset):
         if not row.is_compliant:
             continue
-        near_update = 0
-        total = 0
-        for obs in dataset.blocks:
-            if row.relay not in obs.claimed_by_relay or not obs.is_sanctioned:
-                continue
-            total += 1
-            if any(0 <= (obs.date - update).days <= 7 for update in update_dates):
-                near_update += 1
-        result[row.relay] = near_update / total if total else 0.0
+        member = isin_strings(claim_relays, (row.relay,))
+        claims_this_relay = per_segment_counts(member, offsets) > 0
+        selected = claims_this_relay & table.is_sanctioned
+        total = int(selected.sum())
+        near = int((selected & near_update).sum())
+        result[row.relay] = near / total if total else 0.0
     return result

@@ -5,6 +5,9 @@
 * distinct builders submitting per relay per day (Figure 7),
 * the relay trust table: delivered vs promised value and the share of
   over-promised blocks (Table 4, left side).
+
+Claims are aggregated over the flat ragged ``claim_relays`` /
+``claim_values`` columns; wei totals use exact Python-int reductions.
 """
 
 from __future__ import annotations
@@ -12,9 +15,15 @@ from __future__ import annotations
 import datetime
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..datasets.collector import StudyDataset
-from ..types import Wei, to_ether
-from .timeseries import group_by_date
+from ..datasets.columnar import exact_sum
+from ..types import to_ether
+
+
+def _relay_name(value) -> str:
+    return value.decode("ascii") if isinstance(value, bytes) else str(value)
 
 
 def daily_relay_shares(
@@ -27,33 +36,68 @@ def daily_relay_shares(
     in the paper.  With ``include_non_pbs`` the denominator covers all
     blocks and unclaimed blocks are attributed to ``"(none)"``.
     """
+    table = dataset.table
+    offsets = table.col("claim_offsets")
+    counts = offsets[1:] - offsets[:-1]
+    # Equal split: each claim of an n-relay block weighs 1/n.  Relay
+    # names are interned into one global id space and all per-day/relay
+    # weight sums come out of one bincount over (day, relay) keys; claims
+    # are bucketed in flat (block) order, so every per-key float
+    # accumulation matches the per-object dict accumulation bit for bit.
+    claim_weights = 1.0 / np.repeat(counts, counts)
+    uniques, _, inverse = table.dictionary("claim_relays")
+    names = [_relay_name(relay) for relay in uniques]
+    num_relays = max(len(uniques), 1)
+
+    ordinals = table.date_ordinal
+    day_ordinals, day_inverse = np.unique(ordinals, return_inverse=True)
+    num_days = len(day_ordinals)
+    day_of_claim = np.repeat(day_inverse, counts)
+    keys = day_of_claim * num_relays + inverse
+    sums = np.bincount(
+        keys, weights=claim_weights, minlength=num_days * num_relays
+    )
+    blocks_per_day = np.bincount(day_inverse, minlength=num_days)
+    claimed_per_day = np.bincount(day_inverse[counts > 0], minlength=num_days)
+
+    # First claiming block per (day, relay) key orders each day's share
+    # dict like the per-object insertion order (ties within one block
+    # resolve by name — ascending interned id — as the per-object loop
+    # visits a block's relays sorted), so order-sensitive float
+    # reductions over the dicts, like the HHI, also match exactly.
+    block_of_claim = np.repeat(np.arange(len(counts)), counts)
+    key_uniques, key_first = np.unique(keys, return_index=True)
+    key_block = block_of_claim[key_first]
+    day_bounds = np.searchsorted(
+        key_uniques // num_relays, np.arange(num_days + 1)
+    )
+
     shares: dict[datetime.date, dict[str, float]] = {}
-    for date, day_blocks in group_by_date(dataset.blocks).items():
-        weights: dict[str, float] = {}
-        denominator = 0
-        for obs in day_blocks:
-            relays = sorted(obs.claimed_by_relay)
-            if not relays:
-                if include_non_pbs:
-                    weights["(none)"] = weights.get("(none)", 0.0) + 1.0
-                    denominator += 1
-                continue
-            denominator += 1
-            for relay in relays:
-                weights[relay] = weights.get(relay, 0.0) + 1.0 / len(relays)
-        if denominator:
-            shares[date] = {
-                name: weight / denominator for name, weight in weights.items()
-            }
+    for day in range(num_days):
+        claimed_blocks = int(claimed_per_day[day])
+        unclaimed_blocks = int(blocks_per_day[day]) - claimed_blocks
+        denominator = claimed_blocks + (unclaimed_blocks if include_non_pbs else 0)
+        if not denominator:
+            continue
+        lo, hi = day_bounds[day], day_bounds[day + 1]
+        order = np.argsort(key_block[lo:hi], kind="stable")
+        day_shares = {
+            names[key % num_relays]: float(sums[key] / denominator)
+            for key in key_uniques[lo:hi][order]
+        }
+        if include_non_pbs and unclaimed_blocks:
+            day_shares["(none)"] = unclaimed_blocks / denominator
+        shares[datetime.date.fromordinal(int(day_ordinals[day]))] = day_shares
     return shares
 
 
 def multi_relay_share(dataset: StudyDataset) -> float:
     """Share of PBS blocks claimed by more than one relay (~5% in the paper)."""
-    pbs = [obs for obs in dataset.blocks if obs.relay_claimed]
-    if not pbs:
+    counts = dataset.table.ragged_counts("claim_offsets")
+    claimed = int((counts > 0).sum())
+    if not claimed:
         return 0.0
-    return sum(len(obs.claimed_by_relay) > 1 for obs in pbs) / len(pbs)
+    return int((counts > 1).sum()) / claimed
 
 
 def builders_per_relay_daily(
@@ -64,7 +108,11 @@ def builders_per_relay_daily(
     Uses the relay data API (builder_blocks_received), joining slots to
     dates through the block observations, as the paper's crawl does.
     """
-    slot_to_date = {obs.slot: obs.date for obs in dataset.blocks}
+    table = dataset.table
+    slot_to_date = {
+        int(slot): datetime.date.fromordinal(int(ordinal))
+        for slot, ordinal in zip(table.col("slot"), table.date_ordinal)
+    }
     result: dict[str, dict[datetime.date, int]] = {}
     for name, relay in dataset.relays.items():
         per_day: dict[datetime.date, set[str]] = {}
@@ -99,30 +147,35 @@ def relay_trust_table(dataset: StudyDataset) -> list[RelayTrustRow]:
     For each delivered payload, the promised value is the relay's claim and
     the delivered value is what the chain shows the proposer received.
     """
-    per_relay: dict[str, list[tuple[Wei, Wei]]] = {}
-    for obs in dataset.blocks:
-        if not obs.claimed_by_relay:
-            continue
-        delivered = obs.delivered_value_wei
-        for relay, claimed in obs.claimed_by_relay.items():
-            per_relay.setdefault(relay, []).append((claimed, delivered))
+    table = dataset.table
+    claim_relays = table.col("claim_relays")
+    if claim_relays.size == 0:
+        return []
+    counts = table.ragged_counts("claim_offsets")
+    claim_values = table.col("claim_values")
+    # Per-claim delivered value: the claiming block's proposer profit.
+    delivered_per_claim = np.repeat(table.proposer_profit_wei, counts)
 
+    uniques, _, inverse = table.dictionary("claim_relays")
     rows: list[RelayTrustRow] = []
-    for relay in sorted(per_relay):
-        pairs = per_relay[relay]
-        promised = sum(claimed for claimed, _ in pairs)
-        delivered = sum(actual for _, actual in pairs)
-        over_promised = sum(1 for claimed, actual in pairs if claimed > actual)
+    for i, relay in enumerate(uniques):
+        selected = inverse == i
+        claimed = claim_values[selected]
+        delivered = delivered_per_claim[selected]
+        promised_total = exact_sum(np.asarray(claimed))
+        delivered_total = exact_sum(np.asarray(delivered))
+        over_promised = int((claimed > delivered).sum())
+        blocks = int(selected.sum())
         rows.append(
             RelayTrustRow(
-                relay=relay,
-                delivered_value_eth=to_ether(delivered),
-                promised_value_eth=to_ether(promised),
+                relay=_relay_name(relay),
+                delivered_value_eth=to_ether(delivered_total),
+                promised_value_eth=to_ether(promised_total),
                 share_of_value_delivered=(
-                    delivered / promised if promised else 1.0
+                    delivered_total / promised_total if promised_total else 1.0
                 ),
-                share_over_promised_blocks=over_promised / len(pairs),
-                blocks=len(pairs),
+                share_over_promised_blocks=over_promised / blocks,
+                blocks=blocks,
             )
         )
     return rows

@@ -84,3 +84,36 @@ def percentile(values: Sequence[float], q: float) -> float:
     if not values:
         raise AnalysisError("cannot take a percentile of no data")
     return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+# -- columnar daily aggregation ---------------------------------------------
+
+
+def day_slices(
+    ordinals: np.ndarray,
+) -> tuple[tuple[datetime.date, ...], np.ndarray, np.ndarray]:
+    """(dates, starts, ends) of same-date runs in a sorted ordinal array.
+
+    The vectorized counterpart of :func:`group_by_date`: analyses slice
+    value columns with ``[start:end]`` per day instead of materializing
+    per-day observation lists.
+    """
+    uniques, starts = np.unique(ordinals, return_index=True)
+    ends = np.append(starts[1:], ordinals.size)
+    dates = tuple(datetime.date.fromordinal(int(o)) for o in uniques)
+    return dates, starts, ends
+
+
+def by_date_order(
+    ordinals: np.ndarray, columns: list[np.ndarray]
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Stable-sort ``columns`` by date ordinal when not already sorted.
+
+    Collected tables are block-number ordered, which is chronological, so
+    this is a no-op on every normal dataset — the sort only triggers for
+    hand-built observation lists in tests.
+    """
+    if ordinals.size and np.any(ordinals[1:] < ordinals[:-1]):
+        order = np.argsort(ordinals, kind="stable")
+        return ordinals[order], [column[order] for column in columns]
+    return ordinals, columns

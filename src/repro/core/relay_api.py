@@ -88,6 +88,20 @@ class RelayDataStore:
         self._submissions.extend(other._submissions)
         self._payloads.extend(other._payloads)
 
+    def copy(self) -> "RelayDataStore":
+        """An independent store with the same rows.
+
+        ``merge_study_datasets`` absorbs segment rows into copies so the
+        merge never mutates its input datasets (rows are frozen
+        dataclasses, so sharing them is safe — only the containers fork).
+        """
+        clone = RelayDataStore(self.relay_name)
+        clone._registrations = list(self._registrations)
+        clone._registered_pubkeys = set(self._registered_pubkeys)
+        clone._submissions = list(self._submissions)
+        clone._payloads = list(self._payloads)
+        return clone
+
     # -- reads (the endpoints the paper crawls) ---------------------------
 
     def get_validator_registrations(self) -> list[ValidatorRegistration]:

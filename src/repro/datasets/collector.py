@@ -4,13 +4,31 @@ Walks a finished world the way the paper's pipeline walked its raw data:
 chain blocks joined with beacon records, relay data-API crawls, mempool
 observations, MEV label sources, and OFAC screening.  The resulting
 :class:`StudyDataset` is the only thing the analysis package reads.
+
+Two dataset backends exist (``SimulationConfig.dataset_backend``):
+
+* ``"columnar"`` (default) — per-block values append straight into
+  :class:`~.columnar.ColumnBuilder` lists and finalize into a
+  :class:`~.columnar.BlockTable`; ``dataset.blocks`` is a
+  :class:`~.columnar.LazyBlockList` that materializes observation objects
+  only when legacy callers index it.
+* ``"object"`` — the original list-of-:class:`BlockObservation` path.
+
+Both backends produce bit-identical :meth:`StudyDataset.content_digest`
+values — the equality the differential replay matrix enforces — because
+the columnar encoding is lossless and the digest is defined over field
+values, never over the storage layout.
 """
 
 from __future__ import annotations
 
+import copy
 import datetime
 import hashlib
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from ..beacon.chain import BeaconChain
 from ..chain.chain import Chain
@@ -22,40 +40,135 @@ from ..mev.labels import MevDataset
 from ..sanctions.ofac import SanctionsList
 from ..sanctions.screening import SanctionScreener
 from ..types import Hash, Wei
+from .columnar import BlockTable, ColumnBuilder, LazyBlockList
 from .records import BlockObservation, DatasetInventory
 
 
 @dataclass
 class StudyDataset:
-    """Everything the measurement pipeline consumes."""
+    """Everything the measurement pipeline consumes.
 
-    blocks: list[BlockObservation]
+    ``blocks`` is either a plain list of observations (object backend) or
+    a :class:`LazyBlockList` over a :class:`BlockTable` (columnar
+    backend).  :attr:`table` exposes the columnar view either way —
+    object-backed datasets build (and cache) their table on first use, so
+    the vectorized analyses run identically over both backends.
+    """
+
+    blocks: Sequence[BlockObservation]
     mev: MevDataset
     relays: dict[str, Relay]
     sanctions: SanctionsList
     inventory: DatasetInventory
     # Relay policy metadata for the censorship analyses (Table 3).
     compliant_relays: frozenset[str] = frozenset()
-    _by_number: dict[int, BlockObservation] = field(default_factory=dict)
+    # Lazily built caches; never part of equality or pickles.
+    _by_number: dict[int, BlockObservation] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _table: BlockTable | None = field(default=None, repr=False, compare=False)
+    _dates: list[datetime.date] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
-        if not self._by_number:
-            self._by_number = {obs.number: obs for obs in self.blocks}
+        if self._table is None and isinstance(self.blocks, LazyBlockList):
+            self._table = self.blocks.table
+
+    # -- columnar access ----------------------------------------------------
+
+    @property
+    def table(self) -> BlockTable:
+        """The columnar view of :attr:`blocks` (built once on demand)."""
+        if self._table is None:
+            self._table = BlockTable.from_observations(self.blocks)
+        return self._table
+
+    # Vectorized per-block accessors, mirroring the BlockObservation
+    # derived properties as column expressions (one element per block, in
+    # block order).  The analysis modules consume these.
+
+    @property
+    def is_pbs(self) -> np.ndarray:
+        return self.table.is_pbs
+
+    @property
+    def relay_claimed(self) -> np.ndarray:
+        return self.table.relay_claimed
+
+    @property
+    def has_pbs_payment(self) -> np.ndarray:
+        return self.table.has_pbs_payment
+
+    @property
+    def is_sanctioned(self) -> np.ndarray:
+        return self.table.is_sanctioned
+
+    @property
+    def block_value_wei(self) -> np.ndarray:
+        return self.table.block_value_wei
+
+    @property
+    def proposer_profit_wei(self) -> np.ndarray:
+        return self.table.proposer_profit_wei
+
+    @property
+    def builder_profit_wei(self) -> np.ndarray:
+        return self.table.builder_profit_wei
+
+    @property
+    def date_ordinals(self) -> np.ndarray:
+        return self.table.date_ordinal
+
+    # -- row access ---------------------------------------------------------
 
     def block(self, number: int) -> BlockObservation:
+        if not self._by_number:
+            self._by_number = {obs.number: obs for obs in self.blocks}
         try:
             return self._by_number[number]
         except KeyError:
             raise DataError(f"no observation for block {number}") from None
 
     def pbs_blocks(self) -> list[BlockObservation]:
+        if self._table is not None:
+            return [self.blocks[i] for i in np.flatnonzero(self._table.is_pbs)]
         return [obs for obs in self.blocks if obs.is_pbs]
 
     def non_pbs_blocks(self) -> list[BlockObservation]:
+        if self._table is not None:
+            return [self.blocks[i] for i in np.flatnonzero(~self._table.is_pbs)]
         return [obs for obs in self.blocks if not obs.is_pbs]
 
     def dates(self) -> list[datetime.date]:
-        return sorted({obs.date for obs in self.blocks})
+        """Sorted unique dates, cached (recomputing per analysis added up)."""
+        if self._dates is None:
+            if self._table is not None:
+                self._dates = self._table.dates()
+            else:
+                self._dates = sorted({obs.date for obs in self.blocks})
+        return list(self._dates)
+
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Drop rebuildable caches: the block-number index and the date
+        # cache can be large or stale, and object-backed tables would
+        # double the artifact size.  A columnar-backed dataset keeps its
+        # table implicitly via the LazyBlockList.
+        state = dict(self.__dict__)
+        state["_by_number"] = {}
+        state["_dates"] = None
+        if not isinstance(self.blocks, LazyBlockList):
+            state["_table"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._table is None and isinstance(self.blocks, LazyBlockList):
+            self._table = self.blocks.table
+
+    # -- digest -------------------------------------------------------------
 
     def content_digest(self) -> str:
         """A stable hex digest of the collected measurement content.
@@ -64,7 +177,8 @@ class StudyDataset:
         and relay-policy metadata, so two collections are digest-equal iff
         the measurement pipeline would produce identical numbers — the
         equality the differential replay matrix asserts across perf
-        configurations.
+        configurations *and* across dataset backends (the columnar
+        encoding is lossless, so both backings feed identical bytes).
         """
         hasher = hashlib.sha256()
 
@@ -73,39 +187,7 @@ class StudyDataset:
             hasher.update(b"\x00")
 
         for obs in sorted(self.blocks, key=lambda o: o.number):
-            feed(
-                "|".join(
-                    (
-                        str(obs.number),
-                        obs.block_hash,
-                        str(obs.slot),
-                        obs.date.isoformat(),
-                        str(obs.proposer_index),
-                        obs.proposer_entity,
-                        obs.proposer_fee_recipient,
-                        obs.fee_recipient,
-                        obs.extra_data,
-                        str(obs.gas_used),
-                        str(obs.gas_limit),
-                        str(obs.base_fee_per_gas),
-                        str(obs.burned_wei),
-                        str(obs.priority_fees_wei),
-                        str(obs.direct_transfers_wei),
-                        str(obs.tx_count),
-                        str(obs.private_tx_count),
-                        str(obs.builder_payment_wei),
-                        str(obs.builder_pubkey),
-                    )
-                )
-            )
-            for relay, value in sorted(obs.claimed_by_relay.items()):
-                feed(f"claim:{relay}={value}")
-            for tx_hash, value in sorted(obs.tx_value_contribution.items()):
-                feed(f"contrib:{tx_hash}={value}")
-            for tx_hash in sorted(obs.private_tx_hashes):
-                feed(f"private:{tx_hash}")
-            for tx_hash in obs.sanctioned_tx_hashes:
-                feed(f"sanctioned:{tx_hash}")
+            _feed_observation(feed, obs)
         feed(f"labels:{len(self.mev)}")
         for source, count in sorted(self.inventory.mev_labels_by_source.items()):
             feed(f"labels:{source}={count}")
@@ -121,15 +203,70 @@ class StudyDataset:
         return hasher.hexdigest()
 
 
+def _feed_observation(feed, obs: BlockObservation) -> None:
+    """Feed one observation's digest bytes (shared by both backends)."""
+    feed(
+        "|".join(
+            (
+                str(obs.number),
+                obs.block_hash,
+                str(obs.slot),
+                obs.date.isoformat(),
+                str(obs.proposer_index),
+                obs.proposer_entity,
+                obs.proposer_fee_recipient,
+                obs.fee_recipient,
+                obs.extra_data,
+                str(obs.gas_used),
+                str(obs.gas_limit),
+                str(obs.base_fee_per_gas),
+                str(obs.burned_wei),
+                str(obs.priority_fees_wei),
+                str(obs.direct_transfers_wei),
+                str(obs.tx_count),
+                str(obs.private_tx_count),
+                str(obs.builder_payment_wei),
+                str(obs.builder_pubkey),
+            )
+        )
+    )
+    for relay, value in sorted(obs.claimed_by_relay.items()):
+        feed(f"claim:{relay}={value}")
+    for tx_hash, value in sorted(obs.tx_value_contribution.items()):
+        feed(f"contrib:{tx_hash}={value}")
+    for tx_hash in sorted(obs.private_tx_hashes):
+        feed(f"private:{tx_hash}")
+    for tx_hash in obs.sanctioned_tx_hashes:
+        feed(f"sanctioned:{tx_hash}")
+
+
+def _clone_relay(relay: Relay) -> Relay:
+    """A merge-safe clone: shared immutable config, private data store.
+
+    ``merge_study_datasets`` must never mutate its inputs, so absorbed
+    rows land in a copied :class:`RelayDataStore`.  The clone shares the
+    relay's post-run configuration and RNG (analyses only read
+    ``.data``/``.policy``; merged relays are never re-run).
+    """
+    clone = copy.copy(relay)
+    clone.data = relay.data.copy()
+    return clone
+
+
 def merge_study_datasets(datasets: "list[StudyDataset]") -> StudyDataset:
     """Merge per-segment datasets into one study-wide dataset, in order.
 
     The epoch-segment merge step: block observations concatenate (block
     numbers are globally unique by segment construction), MEV labels
-    union, relay data stores absorb row-by-row (registrations dedupe just
-    as re-registration does in one run), and the inventory is re-derived
-    so counts stay consistent with the merged stores.  Merging a single
-    dataset returns it unchanged, so unsegmented runs pay nothing.
+    union, relay data stores absorb row-by-row into *copies* (the inputs
+    are never mutated, so merging the same datasets twice is
+    idempotent), and the inventory is re-derived so counts stay
+    consistent with the merged stores.  Merging a single dataset returns
+    it unchanged, so unsegmented runs pay nothing.
+
+    When every input is columnar-backed the merge is pure array
+    concatenation — per-segment tables arrive in segment-index order, so
+    no object materialization or per-object sort happens at all.
     """
     if not datasets:
         raise DataError("cannot merge an empty dataset list")
@@ -137,27 +274,41 @@ def merge_study_datasets(datasets: "list[StudyDataset]") -> StudyDataset:
         return datasets[0]
 
     first = datasets[0]
-    blocks: list[BlockObservation] = []
     mev = MevDataset(sources=first.mev.sources)
-    relays: dict[str, Relay] = dict(first.relays)
+    relays: dict[str, Relay] = {}
     total_blocks = total_txs = total_logs = total_traces = total_arrivals = 0
     compliant: frozenset[str] = frozenset()
-    for index, dataset in enumerate(datasets):
-        blocks.extend(dataset.blocks)
+    for dataset in datasets:
         mev.absorb(dataset.mev)
-        if index > 0:
-            for name, relay in dataset.relays.items():
-                if name in relays:
-                    relays[name].data.absorb(relay.data)
-                else:
-                    relays[name] = relay
+        for name, relay in dataset.relays.items():
+            if name in relays:
+                relays[name].data.absorb(relay.data)
+            else:
+                relays[name] = _clone_relay(relay)
         total_blocks += dataset.inventory.blocks
         total_txs += dataset.inventory.transactions
         total_logs += dataset.inventory.logs
         total_traces += dataset.inventory.traces
         total_arrivals += dataset.inventory.mempool_arrival_times
         compliant = compliant | dataset.compliant_relays
-    blocks.sort(key=lambda obs: obs.number)
+
+    blocks: Sequence[BlockObservation]
+    if all(isinstance(d.blocks, LazyBlockList) for d in datasets):
+        table = BlockTable.concat([d.table for d in datasets])
+        if not table.is_number_sorted():
+            merged = sorted(
+                (obs for d in datasets for obs in d.blocks),
+                key=lambda obs: obs.number,
+            )
+            table = BlockTable.from_observations(merged)
+        blocks = LazyBlockList(table)
+    else:
+        merged_list: list[BlockObservation] = []
+        for dataset in datasets:
+            merged_list.extend(dataset.blocks)
+        merged_list.sort(key=lambda obs: obs.number)
+        blocks = merged_list
+
     inventory = DatasetInventory(
         blocks=total_blocks,
         transactions=total_txs,
@@ -208,6 +359,9 @@ def collect_study_dataset(world) -> StudyDataset:
 def _collect_study_dataset(world, perf) -> StudyDataset:
     chain: Chain = world.chain
     beacon: BeaconChain = world.beacon
+    columnar = (
+        getattr(world.config, "dataset_backend", "columnar") == "columnar"
+    )
 
     # Relay crawl: delivered payloads indexed by block hash.
     deliveries_by_hash: dict[Hash, list[DeliveredPayload]] = {}
@@ -220,6 +374,7 @@ def _collect_study_dataset(world, perf) -> StudyDataset:
     screener = SanctionScreener(world.sanctions, world.defi.tokens)
     mev = MevDataset()
 
+    builder = ColumnBuilder() if columnar else None
     observations: list[BlockObservation] = []
     for record in beacon.proposed():
         block = chain.block_by_hash(record.execution_block_hash)
@@ -242,10 +397,11 @@ def _collect_study_dataset(world, perf) -> StudyDataset:
             )
 
         block_time = float(block.header.timestamp)
+        is_public = world.observations.is_public
         private_hashes = frozenset(
             tx.tx_hash
             for tx in block.transactions
-            if not world.observations.is_public(tx.tx_hash, before=block_time)
+            if not is_public(tx.tx_hash, before=block_time)
         )
 
         contribution: dict[Hash, Wei] = {}
@@ -258,35 +414,62 @@ def _collect_study_dataset(world, perf) -> StudyDataset:
         claimed = {payload.relay: payload.value_claimed_wei for payload in payloads}
         builder_pubkey = payloads[0].builder_pubkey if payloads else None
 
-        observations.append(
-            BlockObservation(
-                number=block.number,
-                block_hash=block.block_hash,
-                slot=record.slot,
-                date=record.date,
-                proposer_index=proposer.index,
-                proposer_entity=proposer.entity,
-                proposer_fee_recipient=proposer.fee_recipient,
-                fee_recipient=block.fee_recipient,
-                extra_data=block.header.extra_data,
-                gas_used=block.header.gas_used,
-                gas_limit=block.header.gas_limit,
-                base_fee_per_gas=block.header.base_fee_per_gas,
-                burned_wei=result.burned_wei,
-                priority_fees_wei=result.priority_fees_wei,
-                direct_transfers_wei=result.direct_transfers_wei,
-                tx_count=len(block.transactions),
-                private_tx_count=len(private_hashes),
-                builder_payment_wei=_detect_builder_payment(
-                    block, proposer.fee_recipient
-                ),
-                claimed_by_relay=claimed,
-                builder_pubkey=builder_pubkey,
-                tx_value_contribution=contribution,
-                private_tx_hashes=private_hashes,
-                sanctioned_tx_hashes=sanctioned,
+        if builder is not None:
+            scalars = builder.scalars
+            strings = builder.strings
+            scalars["number"].append(block.number)
+            scalars["slot"].append(record.slot)
+            scalars["date_ordinal"].append(record.date.toordinal())
+            scalars["proposer_index"].append(proposer.index)
+            scalars["gas_used"].append(block.header.gas_used)
+            scalars["gas_limit"].append(block.header.gas_limit)
+            scalars["tx_count"].append(len(block.transactions))
+            scalars["private_tx_count"].append(len(private_hashes))
+            scalars["base_fee_per_gas"].append(block.header.base_fee_per_gas)
+            scalars["burned_wei"].append(result.burned_wei)
+            scalars["priority_fees_wei"].append(result.priority_fees_wei)
+            scalars["direct_transfers_wei"].append(result.direct_transfers_wei)
+            scalars["builder_payment_wei"].append(
+                _detect_builder_payment(block, proposer.fee_recipient)
             )
-        )
+            strings["block_hash"].append(block.block_hash)
+            strings["proposer_entity"].append(proposer.entity)
+            strings["proposer_fee_recipient"].append(proposer.fee_recipient)
+            strings["fee_recipient"].append(block.fee_recipient)
+            strings["extra_data"].append(block.header.extra_data)
+            strings["builder_pubkey"].append(builder_pubkey or "")
+            builder.has_pubkey.append(builder_pubkey is not None)
+            builder.append_ragged(claimed, contribution, private_hashes, sanctioned)
+        else:
+            observations.append(
+                BlockObservation(
+                    number=block.number,
+                    block_hash=block.block_hash,
+                    slot=record.slot,
+                    date=record.date,
+                    proposer_index=proposer.index,
+                    proposer_entity=proposer.entity,
+                    proposer_fee_recipient=proposer.fee_recipient,
+                    fee_recipient=block.fee_recipient,
+                    extra_data=block.header.extra_data,
+                    gas_used=block.header.gas_used,
+                    gas_limit=block.header.gas_limit,
+                    base_fee_per_gas=block.header.base_fee_per_gas,
+                    burned_wei=result.burned_wei,
+                    priority_fees_wei=result.priority_fees_wei,
+                    direct_transfers_wei=result.direct_transfers_wei,
+                    tx_count=len(block.transactions),
+                    private_tx_count=len(private_hashes),
+                    builder_payment_wei=_detect_builder_payment(
+                        block, proposer.fee_recipient
+                    ),
+                    claimed_by_relay=claimed,
+                    builder_pubkey=builder_pubkey,
+                    tx_value_contribution=contribution,
+                    private_tx_hashes=private_hashes,
+                    sanctioned_tx_hashes=sanctioned,
+                )
+            )
 
     inventory = DatasetInventory(
         blocks=len(chain),
@@ -306,7 +489,9 @@ def _collect_study_dataset(world, perf) -> StudyDataset:
         if relay.policy.is_censoring
     )
     return StudyDataset(
-        blocks=observations,
+        blocks=(
+            LazyBlockList(builder.finish()) if builder is not None else observations
+        ),
         mev=mev,
         relays=dict(world.relays),
         sanctions=world.sanctions,

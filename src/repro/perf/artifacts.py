@@ -7,27 +7,51 @@ module caches that dataset on disk keyed by a content hash of the config,
 so benchmark sessions whose config is unchanged skip the simulation
 entirely (``benchmarks/conftest.py`` wires this up).
 
+Format 2 splits a columnar dataset across two files:
+
+* ``study-<hash>.columns.npz`` — every numpy column of the dataset's
+  :class:`~repro.datasets.columnar.BlockTable`, uncompressed
+  (``np.savez``), loaded zero-copy by memory-mapping the archive and
+  pointing each array at its bytes inside the zip members;
+* ``study-<hash>.pkl`` — the pickled non-columnar remainder (MEV labels,
+  relay stores, sanctions, inventory) plus any object-dtype overflow
+  columns, with the format stamp and config hash.
+
+Non-dataset payloads (plain dicts in tests, object-backed datasets) skip
+the column file and pickle whole, exactly like format 1 did.
+
 Invalidation rule: the cache key is a hash of *every* config field, so any
 config change — including the seed — produces a new artifact file.  Code
 changes are guarded by ``ARTIFACT_FORMAT``: bump it whenever simulation
-semantics change so stale artifacts from older code are ignored.  Delete
-the cache directory at any time; it will simply be rebuilt.
+semantics *or this file layout* change so stale artifacts from older code
+are ignored.  Delete the cache directory at any time; it will simply be
+rebuilt.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
+import logging
+import mmap
 import os
 import pickle
+import zipfile
 from pathlib import Path
 from typing import Any
 
-#: Bump when simulation semantics change; old artifacts become unreadable.
-ARTIFACT_FORMAT = 1
+import numpy as np
+from numpy.lib import format as npy_format
+
+#: Bump when simulation semantics or the artifact layout change; old
+#: artifacts become unreadable.  2 = columnar .npz + pickle remainder.
+ARTIFACT_FORMAT = 2
 
 _CACHE_DIR_ENV = "REPRO_ARTIFACT_CACHE"
+
+_LOG = logging.getLogger(__name__)
 
 
 def config_content_hash(config: Any) -> str:
@@ -58,19 +82,56 @@ def _artifact_path(cache_dir: Path, config_hash: str) -> Path:
     return cache_dir / f"study-{config_hash}.pkl"
 
 
+def _columns_path(cache_dir: Path, config_hash: str) -> Path:
+    return cache_dir / f"study-{config_hash}.columns.npz"
+
+
+def _columnar_table(dataset: Any):
+    """The dataset's BlockTable when it is columnar-backed, else None."""
+    from ..datasets.columnar import LazyBlockList
+
+    blocks = getattr(dataset, "blocks", None)
+    if isinstance(blocks, LazyBlockList):
+        return blocks.table
+    return None
+
+
 def save_study_artifact(
     config: Any, dataset: Any, cache_dir: Path | None = None
 ) -> Path:
-    """Pickle ``dataset`` under the config's content hash; returns the path."""
+    """Persist ``dataset`` under the config's content hash; returns the path.
+
+    Columnar datasets write their numpy columns to a sibling ``.npz`` so
+    loads can memory-map them; everything else (and non-dataset payloads)
+    is pickled whole.
+    """
     cache_dir = cache_dir or default_cache_dir()
     cache_dir.mkdir(parents=True, exist_ok=True)
     config_hash = config_content_hash(config)
     path = _artifact_path(cache_dir, config_hash)
-    payload = {
+    payload: dict[str, Any] = {
         "format": ARTIFACT_FORMAT,
         "config_hash": config_hash,
+        "columnar": False,
         "dataset": dataset,
     }
+
+    table = _columnar_table(dataset)
+    if table is not None:
+        plain, objects = table.to_arrays()
+        columns_path = _columns_path(cache_dir, config_hash)
+        tmp_columns = columns_path.with_suffix(".tmp")
+        with open(tmp_columns, "wb") as handle:
+            np.savez(handle, **plain)
+        os.replace(tmp_columns, columns_path)
+        # The remainder pickles with the blocks stripped: the columns file
+        # carries them.  Object-dtype overflow columns (wei values beyond
+        # int64) cannot be mmapped and ride along in the pickle.
+        remainder = dataclasses.replace(dataset, blocks=[])
+        payload.update(
+            columnar=True, dataset=remainder, object_columns=objects
+        )
+
     tmp_path = path.with_suffix(".tmp")
     with open(tmp_path, "wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -88,12 +149,86 @@ def load_study_artifact(config: Any, cache_dir: Path | None = None) -> Any:
     try:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
-    except Exception:
-        return None  # corrupt or unreadable: treat as a miss
+    except (OSError, pickle.UnpicklingError, EOFError) as error:
+        _LOG.warning("discarding stale/corrupt study artifact %s: %s", path, error)
+        return None
     if not isinstance(payload, dict):
         return None
     if payload.get("format") != ARTIFACT_FORMAT:
         return None
     if payload.get("config_hash") != config_hash:
         return None
-    return payload.get("dataset")
+    dataset = payload.get("dataset")
+    if not payload.get("columnar"):
+        return dataset
+    try:
+        return _attach_columns(
+            dataset,
+            _columns_path(cache_dir, config_hash),
+            payload.get("object_columns") or {},
+        )
+    except (OSError, zipfile.BadZipFile, ValueError, KeyError) as error:
+        _LOG.warning(
+            "discarding stale/corrupt study artifact %s: %s", path, error
+        )
+        return None
+
+
+def _attach_columns(dataset: Any, columns_path: Path, objects: dict) -> Any:
+    """Rehydrate a columnar dataset from its mmapped column file."""
+    from ..datasets.columnar import BlockTable, LazyBlockList
+
+    plain = mmap_npz_columns(columns_path)
+    table = BlockTable.from_arrays(plain, objects)
+    dataset.blocks = LazyBlockList(table)
+    dataset._table = table
+    return dataset
+
+
+def mmap_npz_columns(path: Path) -> dict[str, np.ndarray]:
+    """Zero-copy load of an uncompressed ``.npz``: arrays point into one mmap.
+
+    ``np.savez`` stores members uncompressed (``ZIP_STORED``), so each
+    ``.npy`` member sits contiguously in the file: seek past the zip local
+    file header (30 fixed bytes + name + extra), parse the npy header, and
+    wrap the raw bytes with ``np.frombuffer``.  The returned arrays are
+    read-only views over a single shared memory map — no column is copied
+    into RAM until touched, which is what makes warm artifact loads fast.
+    """
+    with open(path, "rb") as handle:
+        buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    view = memoryview(buffer)
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"npz member {info.filename!r} is compressed; "
+                    "cannot memory-map"
+                )
+            header = view[info.header_offset : info.header_offset + 30]
+            name_len = int.from_bytes(header[26:28], "little")
+            extra_len = int.from_bytes(header[28:30], "little")
+            start = info.header_offset + 30 + name_len + extra_len
+            member = view[start : start + info.file_size]
+            arrays[info.filename.removesuffix(".npy")] = _npy_from_buffer(
+                member
+            )
+    return arrays
+
+
+def _npy_from_buffer(member: memoryview) -> np.ndarray:
+    """An ndarray over the raw data section of an in-memory ``.npy`` image."""
+    prefix = io.BytesIO(bytes(member[: min(len(member), 65536)]))
+    version = npy_format.read_magic(prefix)
+    if version == (1, 0):
+        shape, fortran, dtype = npy_format.read_array_header_1_0(prefix)
+    elif version == (2, 0):
+        shape, fortran, dtype = npy_format.read_array_header_2_0(prefix)
+    else:
+        raise ValueError(f"unsupported npy version {version}")
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be memory-mapped")
+    array = np.frombuffer(member, dtype=dtype, offset=prefix.tell())
+    array = array.reshape(shape, order="F" if fortran else "C")
+    return array

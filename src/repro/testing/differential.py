@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any
 
 from ..datasets.collector import collect_study_dataset
+from ..datasets.columnar import LazyBlockList
 from ..errors import ConformanceError
 from ..perf.artifacts import load_study_artifact, save_study_artifact
 from ..perf.sharding import run_sharded
@@ -70,6 +71,12 @@ DEFAULT_CASES: tuple[ReplayCase, ...] = (
             ("engine_fast_path", False),
         ),
     ),
+    # The columnar dataset backend must be a pure storage change: the
+    # object-backed collection path has to produce a bit-identical
+    # dataset digest, so it sits in the same digest group.
+    ReplayCase(
+        name="columnar-off", overrides=(("dataset_backend", "object"),)
+    ),
 )
 
 
@@ -107,6 +114,11 @@ def sharded_cases(segment_days: int) -> tuple[ReplayCase, ...]:
             overrides=(seg, ("shard_workers", 4), ("enable_exec_cache", False)),
             group=GROUP_SHARDED,
         ),
+        ReplayCase(
+            name="sharded-columnar-off",
+            overrides=(seg, ("dataset_backend", "object")),
+            group=GROUP_SHARDED,
+        ),
     )
 
 
@@ -129,7 +141,11 @@ class ReplayReport:
     faults: tuple[FaultSpec, ...] = ()
     #: Dataset digest after a cold artifact save + warm load round-trip,
     #: per digest group (empty when no artifact directory was provided or
-    #: faults are active).
+    #: faults are active).  Columnar-backed datasets round-trip through
+    #: the ``.npz``-column artifact under the plain group key; object-
+    #: backed ones exercise the pickle-whole path under
+    #: ``"<group>:pickle"``.  Every key must match its group's reference
+    #: digest.
     artifact_roundtrip_digests: dict[str, str] = field(default_factory=dict)
 
     @property
@@ -160,12 +176,14 @@ class ReplayReport:
                         f"case {result.case.name!r} dataset digest diverged "
                         f"from {reference.case.name!r} (group {group!r})"
                     )
-            roundtrip = self.artifact_roundtrip_digests.get(group)
-            if roundtrip is not None and roundtrip != reference.dataset_digest:
-                problems.append(
-                    f"artifact cache round-trip changed the dataset digest "
-                    f"(group {group!r})"
-                )
+            for key, roundtrip in self.artifact_roundtrip_digests.items():
+                if key.split(":", 1)[0] != group:
+                    continue
+                if roundtrip != reference.dataset_digest:
+                    problems.append(
+                        f"artifact cache round-trip {key!r} changed the "
+                        f"dataset digest (group {group!r})"
+                    )
         for result in self.results:
             if result.oracle_violations:
                 problems.append(
@@ -252,12 +270,16 @@ def run_replay_matrix(
                 oracle_violations=violations,
             )
         )
-        first_of_group = case.group not in seen_groups
-        seen_groups.add(case.group)
-        if first_of_group and artifact_dir is not None and not faults:
+        # Round-trip the first case of every (group, storage format)
+        # combination: columnar datasets exercise the mmapped .npz column
+        # path, object-backed ones the pickle-whole path.
+        columnar_backed = isinstance(dataset.blocks, LazyBlockList)
+        key = case.group if columnar_backed else f"{case.group}:pickle"
+        if key not in seen_groups and artifact_dir is not None and not faults:
+            seen_groups.add(key)
             save_study_artifact(case_config, dataset, cache_dir=artifact_dir)
             reloaded = load_study_artifact(case_config, cache_dir=artifact_dir)
-            roundtrips[case.group] = (
+            roundtrips[key] = (
                 reloaded.content_digest() if reloaded is not None else "<miss>"
             )
     return ReplayReport(

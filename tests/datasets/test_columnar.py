@@ -1,0 +1,179 @@
+"""Columnar block-table tests: lossless round-trips and merge hygiene."""
+
+from __future__ import annotations
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.collector import (
+    collect_study_dataset,
+    merge_study_datasets,
+)
+from repro.datasets.columnar import BlockTable, LazyBlockList
+from repro.datasets.records import BlockObservation
+from repro.perf.sharding import run_sharded
+from repro.simulation.config import small_test_config
+
+# Wei amounts deliberately straddle the int64 boundary so the object-dtype
+# overflow path of the wei columns is exercised alongside the fast path.
+wei_amounts = st.integers(min_value=0, max_value=10**25)
+tx_hashes = st.text(alphabet="0123456789abcdef", min_size=4, max_size=12).map(
+    lambda s: f"0x{s}"
+)
+relay_names = st.one_of(
+    st.sampled_from(["Flashbots", "bloXroute (E)", "ultra sound", "agnostic"]),
+    # Non-ASCII names force the unicode column fallback.
+    st.text(min_size=1, max_size=10),
+)
+short_text = st.text(max_size=12)
+
+
+@st.composite
+def block_observations(draw, index: int = 0):
+    claimed = draw(
+        st.dictionaries(relay_names, wei_amounts, min_size=0, max_size=3)
+    )
+    contribution = draw(
+        st.dictionaries(tx_hashes, wei_amounts, min_size=0, max_size=4)
+    )
+    private = draw(st.frozensets(tx_hashes, min_size=0, max_size=3))
+    sanctioned = tuple(draw(st.lists(tx_hashes, min_size=0, max_size=3)))
+    return BlockObservation(
+        number=index,
+        block_hash=draw(tx_hashes),
+        slot=index * 2,
+        date=datetime.date(2022, 10, 1)
+        + datetime.timedelta(days=draw(st.integers(0, 30))),
+        proposer_index=draw(st.integers(0, 500)),
+        proposer_entity=draw(short_text),
+        proposer_fee_recipient=draw(tx_hashes),
+        fee_recipient=draw(tx_hashes),
+        extra_data=draw(short_text),
+        gas_used=draw(st.integers(0, 30_000_000)),
+        gas_limit=30_000_000,
+        base_fee_per_gas=draw(wei_amounts),
+        burned_wei=draw(wei_amounts),
+        priority_fees_wei=draw(wei_amounts),
+        direct_transfers_wei=draw(wei_amounts),
+        tx_count=draw(st.integers(0, 300)),
+        private_tx_count=draw(st.integers(0, 50)),
+        builder_payment_wei=draw(wei_amounts),
+        claimed_by_relay=claimed,
+        builder_pubkey=draw(st.one_of(st.none(), tx_hashes)),
+        tx_value_contribution=contribution,
+        private_tx_hashes=private,
+        sanctioned_tx_hashes=sanctioned,
+    )
+
+
+@st.composite
+def observation_lists(draw):
+    size = draw(st.integers(min_value=0, max_value=12))
+    return [draw(block_observations(index=i)) for i in range(size)]
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(observations=observation_lists())
+    def test_from_to_observations_is_lossless(self, observations):
+        """Every field — including the four ragged ones — survives exactly."""
+        table = BlockTable.from_observations(observations)
+        assert len(table) == len(observations)
+        restored = table.to_observations()
+        assert restored == observations
+
+    @settings(max_examples=30, deadline=None)
+    @given(observations=observation_lists())
+    def test_row_views_match_observations(self, observations):
+        table = BlockTable.from_observations(observations)
+        for index, obs in enumerate(observations):
+            row = table.row(index)
+            assert row == obs
+            assert row.claimed_by_relay == obs.claimed_by_relay
+            assert row.tx_value_contribution == obs.tx_value_contribution
+            assert row.private_tx_hashes == obs.private_tx_hashes
+            assert row.sanctioned_tx_hashes == obs.sanctioned_tx_hashes
+
+    @settings(max_examples=30, deadline=None)
+    @given(observations=observation_lists())
+    def test_concat_round_trips(self, observations):
+        half = len(observations) // 2
+        table = BlockTable.concat(
+            [
+                BlockTable.from_observations(observations[:half]),
+                BlockTable.from_observations(observations[half:]),
+            ]
+        )
+        assert table.to_observations() == observations
+
+
+class TestMergeHygiene:
+    def test_merge_does_not_mutate_inputs(self):
+        """Regression: merging used to extend the first input's relay
+        stores in place, double-counting entries on a second merge."""
+        config = small_test_config(num_days=4, blocks_per_day=6, segment_days=2)
+        run = run_sharded(config, check_oracles=False)
+        parts = [delta.dataset for delta in run.deltas]
+        before = [
+            {
+                name: relay.data.total_entries()
+                for name, relay in part.relays.items()
+            }
+            for part in parts
+        ]
+        blocks_before = [len(part.blocks) for part in parts]
+
+        first = merge_study_datasets(parts)
+        second = merge_study_datasets(parts)
+
+        after = [
+            {
+                name: relay.data.total_entries()
+                for name, relay in part.relays.items()
+            }
+            for part in parts
+        ]
+        assert after == before
+        assert [len(part.blocks) for part in parts] == blocks_before
+        # Idempotence: a repeated merge of the same inputs is identical.
+        assert first.content_digest() == second.content_digest()
+        assert first.inventory == second.inventory
+
+    def test_merged_dates_are_the_union(self):
+        config = small_test_config(num_days=4, blocks_per_day=6, segment_days=2)
+        run = run_sharded(config, check_oracles=False)
+        parts = [delta.dataset for delta in run.deltas]
+        merged = merge_study_datasets(parts)
+        expected = sorted({d for part in parts for d in part.dates()})
+        assert merged.dates() == expected
+
+
+class TestDatesCache:
+    def test_dates_cached_and_copied(self):
+        config = small_test_config(num_days=3, blocks_per_day=4)
+        from repro.simulation.world import build_world
+
+        world = build_world(config)
+        dataset = collect_study_dataset(world)
+        first = dataset.dates()
+        first.append(datetime.date(2099, 1, 1))  # caller mutation must not leak
+        assert dataset.dates() != first
+        assert dataset.dates() == sorted({obs.date for obs in dataset.blocks})
+
+    def test_collected_blocks_are_columnar_by_default(self):
+        config = small_test_config(num_days=2, blocks_per_day=4)
+        from repro.simulation.world import build_world
+
+        dataset = collect_study_dataset(build_world(config))
+        assert isinstance(dataset.blocks, LazyBlockList)
+
+    def test_object_backend_collects_plain_lists(self):
+        config = small_test_config(
+            num_days=2, blocks_per_day=4, dataset_backend="object"
+        )
+        from repro.simulation.world import build_world
+
+        dataset = collect_study_dataset(build_world(config))
+        assert isinstance(dataset.blocks, list)
