@@ -1,0 +1,302 @@
+"""Load benchmark for ``python -m repro serve``.
+
+Boots the service as a subprocess, waits for its ``READY <url>`` line,
+then drives N concurrent keep-alive clients through a deterministic
+workload mix — payload cursor walks (the index-layer pagination path),
+exact-slot submission queries, registration pages and the /analysis/*
+endpoints — and reports latency percentiles and throughput into
+``BENCH_serve.json``.
+
+Modes::
+
+    python benchmarks/bench_serve.py --mode full    # 198-day artifact, >=1000 clients
+    python benchmarks/bench_serve.py --mode smoke   # small world, 100 clients (CI)
+
+``--baseline BENCH_serve.json`` turns the run into a pass/fail gate:
+any 5xx fails, and so does a p99 above ``max(--max-p99-ratio x the
+committed p99, --p99-floor-ms)`` — the floor absorbs scheduler noise on
+small CI boxes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import statistics
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO / "BENCH_serve.json"
+
+PAYLOADS = "/relay/v1/data/bidtraces/proposer_payload_delivered"
+SUBMISSIONS = "/relay/v1/data/bidtraces/builder_blocks_received"
+REGISTRATIONS = "/relay/v1/data/validators/registration"
+ANALYSIS = ["/analysis/hhi", "/analysis/value_split", "/analysis/censorship"]
+
+MODES = {
+    "full": {
+        "serve_args": [],  # CLI defaults == the 198-day benchmark artifact
+        "clients": 1000,
+        "requests_per_client": 10,
+        "description": (
+            "198-day benchmark artifact (CLI defaults), keep-alive clients, "
+            "mixed workload: cursor walks / slot queries / registrations / "
+            "analysis"
+        ),
+    },
+    "smoke": {
+        "serve_args": ["--days", "6", "--blocks-per-day", "8",
+                       "--validators", "120", "--no-artifact-cache"],
+        "clients": 100,
+        "requests_per_client": 5,
+        "description": "CI smoke: small simulated world, 100 clients",
+    },
+}
+
+
+class Client:
+    """One keep-alive connection issuing its deterministic request mix."""
+
+    def __init__(self, host: str, port: int, index: int, requests: int) -> None:
+        self.host = host
+        self.port = port
+        self.index = index
+        self.requests = requests
+        self.latencies_ms: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.failures = 0
+
+    def _targets(self):
+        """The request sequence for this client — varied but deterministic."""
+        for n in range(self.requests):
+            kind = (self.index + n) % 5
+            if kind == 0:
+                # Cursor walk start page: the searchsorted seek path.
+                yield f"{PAYLOADS}?limit=100", "walk"
+            elif kind == 1:
+                # Post-merge slot numbering (MERGE_SLOT=4_700_013); the
+                # 198-day x 40 blocks/day window spans ~7920 slots.
+                yield f"{SUBMISSIONS}?slot={4_700_013 + (self.index * 7 + n) % 7920}", None
+            elif kind == 2:
+                yield f"{REGISTRATIONS}?limit={50 + self.index % 200}", None
+            elif kind == 3:
+                yield ANALYSIS[(self.index + n) % len(ANALYSIS)], None
+            else:
+                yield f"{PAYLOADS}?limit={1 + self.index % 500}", None
+
+    async def run(self, connect_gate: asyncio.Semaphore) -> None:
+        try:
+            async with connect_gate:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port, limit=1 << 20
+                )
+        except OSError:
+            self.failures += self.requests
+            return
+        try:
+            for target, mode in self._targets():
+                cursor = await self._timed(reader, writer, target)
+                if mode == "walk" and cursor:
+                    # Follow up to two more pages through the cursor chain.
+                    for _ in range(2):
+                        cursor = await self._timed(
+                            reader, writer, f"{PAYLOADS}?limit=100&cursor={cursor}"
+                        )
+                        if not cursor:
+                            break
+        except (OSError, asyncio.IncompleteReadError):
+            self.failures += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    async def _timed(self, reader, writer, target: str) -> str | None:
+        start = time.perf_counter()
+        writer.write(f"GET {target} HTTP/1.1\r\nhost: bench\r\n\r\n".encode())
+        await writer.drain()
+        status, headers = await _read_response(reader)
+        self.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        return headers.get("x-next-cursor")
+
+
+async def _read_response(reader) -> tuple[int, dict[str, str]]:
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ", 2)[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    await reader.readexactly(int(headers["content-length"]))
+    return status, headers
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[position]
+
+
+async def _drive(host: str, port: int, clients: int, requests: int) -> dict:
+    # Warm the analysis cache and the index before timing.
+    warmup = Client(host, port, index=3, requests=len(ANALYSIS) + 2)
+    await warmup.run(asyncio.Semaphore(1))
+    if warmup.failures:
+        raise RuntimeError("warmup requests failed")
+
+    fleet = [Client(host, port, i, requests) for i in range(clients)]
+    # Connects are staggered (the listen backlog is finite) but every
+    # client holds its connection and issues requests concurrently.
+    gate = asyncio.Semaphore(64)
+    started = time.perf_counter()
+    await asyncio.gather(*(c.run(gate) for c in fleet))
+    wall = time.perf_counter() - started
+
+    latencies = sorted(l for c in fleet for l in c.latencies_ms)
+    statuses: dict[int, int] = {}
+    for c in fleet:
+        for status, count in c.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+    failures = sum(c.failures for c in fleet)
+    return {
+        "concurrent_clients": clients,
+        "requests": len(latencies),
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(len(latencies) / wall, 1) if wall else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p90": round(_percentile(latencies, 0.90), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "mean": round(statistics.fmean(latencies), 3) if latencies else 0.0,
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+        "status_counts": {str(k): v for k, v in sorted(statuses.items())},
+        "connection_failures": failures,
+    }
+
+
+def _launch_server(serve_args: list[str]) -> tuple[subprocess.Popen, str, int]:
+    command = [
+        sys.executable, "-m", "repro", "serve", "--port", "0", *serve_args
+    ]
+    process = subprocess.Popen(
+        command,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    deadline = time.monotonic() + 900  # cold 198-day simulation takes minutes
+    while True:
+        line = process.stdout.readline()
+        if line.startswith("READY "):
+            url = line.split(" ", 1)[1].strip()
+            break
+        if not line and process.poll() is not None:
+            raise RuntimeError(f"server exited early with {process.returncode}")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("server never became ready")
+    host, port_text = url.removeprefix("http://").rsplit(":", 1)
+    return process, host, int(port_text)
+
+
+def _gate(section: dict, baseline_path: pathlib.Path, mode: str,
+          ratio: float, floor_ms: float) -> list[str]:
+    problems = []
+    server_errors = sum(
+        count for status, count in section["status_counts"].items()
+        if status.startswith("5")
+    )
+    if server_errors:
+        problems.append(f"{server_errors} responses were 5xx")
+    if section["connection_failures"]:
+        problems.append(f"{section['connection_failures']} connection failures")
+    baseline = json.loads(baseline_path.read_text()).get(mode)
+    if baseline is None:
+        problems.append(f"baseline {baseline_path} has no {mode!r} section")
+        return problems
+    committed_p99 = baseline["latency_ms"]["p99"]
+    allowed = max(ratio * committed_p99, floor_ms)
+    measured = section["latency_ms"]["p99"]
+    if measured > allowed:
+        problems.append(
+            f"p99 {measured:.1f}ms exceeds allowed {allowed:.1f}ms "
+            f"(baseline {committed_p99:.1f}ms x {ratio}, floor {floor_ms}ms)"
+        )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=sorted(MODES), default="smoke")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--requests-per-client", type=int, default=None)
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="compare against this committed BENCH_serve.json and exit "
+             "non-zero on any 5xx or p99 regression",
+    )
+    parser.add_argument("--max-p99-ratio", type=float, default=2.0)
+    parser.add_argument("--p99-floor-ms", type=float, default=250.0)
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="do not update --out (gate-only runs)",
+    )
+    args = parser.parse_args()
+
+    spec = MODES[args.mode]
+    clients = args.clients or spec["clients"]
+    requests = args.requests_per_client or spec["requests_per_client"]
+
+    print(f"[bench_serve] booting server ({args.mode})...", file=sys.stderr)
+    process, host, port = _launch_server(spec["serve_args"])
+    try:
+        print(
+            f"[bench_serve] driving {clients} clients x {requests} requests "
+            f"against {host}:{port}",
+            file=sys.stderr,
+        )
+        section = asyncio.run(_drive(host, port, clients, requests))
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+    section["description"] = spec["description"]
+    print(json.dumps({args.mode: section}, indent=2))
+
+    if not args.no_write:
+        merged = {}
+        if args.out.exists():
+            merged = json.loads(args.out.read_text())
+        merged[args.mode] = section
+        args.out.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"[bench_serve] wrote {args.out}", file=sys.stderr)
+
+    if args.baseline is not None:
+        problems = _gate(
+            section, args.baseline, args.mode,
+            args.max_p99_ratio, args.p99_floor_ms,
+        )
+        if problems:
+            for problem in problems:
+                print(f"[bench_serve] FAIL: {problem}", file=sys.stderr)
+            return 1
+        print("[bench_serve] gate passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ Drives the whole study from a terminal:
   figures/tables;
 * ``python -m repro inventory`` — print the Table 1 dataset inventory;
 * ``python -m repro conformance`` — run the fault-injection scenario
-  matrix and the differential replay matrix (see DESIGN.md §7).
+  matrix and the differential replay matrix (see DESIGN.md §7);
+* ``python -m repro serve`` — boot the async relay-API + analysis query
+  service over the artifact cache (see DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -252,6 +254,61 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .datasets.collector import StudyDataset
+    from .perf.artifacts import load_study_artifact, save_study_artifact
+    from .serve.http import run_server
+
+    config = SimulationConfig(
+        seed=args.seed,
+        num_days=args.days,
+        blocks_per_day=args.blocks_per_day,
+        num_validators=args.validators,
+        dataset_backend=args.backend,
+    )
+    cache_dir = Path(args.artifact_dir) if args.artifact_dir else None
+    dataset = None
+    if not args.no_artifact_cache:
+        dataset = load_study_artifact(config, cache_dir)
+        if isinstance(dataset, StudyDataset):
+            print(
+                f"loaded artifact for config {config.num_days}d x "
+                f"{config.blocks_per_day} blocks/day (mmap warm load)",
+                file=sys.stderr,
+            )
+        else:
+            dataset = None
+    if dataset is None:
+        print(
+            f"simulating {config.num_days} days x {config.blocks_per_day} "
+            f"blocks/day (seed {config.seed})...",
+            file=sys.stderr,
+        )
+        world = build_world(config).run()
+        dataset = collect_study_dataset(world)
+        if not args.no_artifact_cache:
+            save_study_artifact(config, dataset, cache_dir)
+
+    def announce(server) -> None:
+        relays = ", ".join(sorted(dataset.relays)) or "(no relays)"
+        print(f"serving relays: {relays}", file=sys.stderr)
+        # The machine-readable readiness line load generators wait for.
+        print(f"READY {server.url}", flush=True)
+
+    try:
+        asyncio.run(
+            run_server(
+                dataset, host=args.host, port=args.port, ready_message=announce
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -303,6 +360,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the differential replay matrix",
     )
     conformance.set_defaults(handler=cmd_conformance)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the relay data API + analysis endpoints over HTTP",
+    )
+    serve.add_argument("--seed", type=int, default=7, help="world seed")
+    serve.add_argument(
+        "--days", type=int, default=198,
+        help="study days (default: the full 198-day window)",
+    )
+    serve.add_argument(
+        "--blocks-per-day", type=int, default=40, dest="blocks_per_day",
+        help="simulated block opportunities per day",
+    )
+    serve.add_argument(
+        "--validators", type=int, default=1200, help="validator count"
+    )
+    serve.add_argument(
+        "--backend", choices=("columnar", "object"), default="columnar",
+        help="dataset backend to collect/serve",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8547, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--artifact-dir", default=None,
+        help="artifact cache directory (default: benchmarks/.artifact_cache)",
+    )
+    serve.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="always simulate; do not read or write the artifact cache",
+    )
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

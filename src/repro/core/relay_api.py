@@ -103,23 +103,33 @@ class RelayDataStore:
         return clone
 
     # -- reads (the endpoints the paper crawls) ---------------------------
+    #
+    # Every query returns an immutable tuple over the frozen row
+    # dataclasses, never the store's internal lists: callers (analyses,
+    # exports, the serve layer) cannot mutate the append-only store
+    # through a query result, and the rows themselves are shared, not
+    # copied.  A regression test pins this contract.
 
-    def get_validator_registrations(self) -> list[ValidatorRegistration]:
-        return list(self._registrations)
+    def get_validator_registrations(self) -> tuple[ValidatorRegistration, ...]:
+        return tuple(self._registrations)
 
     def get_builder_blocks_received(
         self, slot: int | None = None
-    ) -> list[BuilderSubmissionRecord]:
+    ) -> tuple[BuilderSubmissionRecord, ...]:
         if slot is None:
-            return list(self._submissions)
-        return [record for record in self._submissions if record.slot == slot]
+            return tuple(self._submissions)
+        return tuple(
+            record for record in self._submissions if record.slot == slot
+        )
 
     def get_payloads_delivered(
         self, slot: int | None = None
-    ) -> list[DeliveredPayload]:
+    ) -> tuple[DeliveredPayload, ...]:
         if slot is None:
-            return list(self._payloads)
-        return [payload for payload in self._payloads if payload.slot == slot]
+            return tuple(self._payloads)
+        return tuple(
+            payload for payload in self._payloads if payload.slot == slot
+        )
 
     def total_entries(self) -> int:
         """All API rows — the relay-data entry count of Table 1."""

@@ -1,0 +1,199 @@
+"""Stdlib-asyncio HTTP/1.1 front end for the query service.
+
+One coroutine per connection over ``asyncio.start_server``; GET-only,
+keep-alive by default, ``Content-Length`` framing.  No third-party web
+framework — the container bakes in only the scientific stack, and the
+service's needs (parse a request line, dispatch, frame a response) fit in
+a page of code that the load benchmark can push to thousands of
+concurrent connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import urllib.parse
+
+from .service import QueryService, Response
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Longest accepted request line / header line, and max header count —
+#: enough for any real client, small enough to bound memory per
+#: connection under load.
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+
+def _render(response: Response, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"content-type: {response.content_type}",
+        f"content-length: {len(response.body)}",
+        f"connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + response.body
+
+
+class RelayHTTPServer:
+    """The asyncio server wrapping one :class:`QueryService`."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "RelayHTTPServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=_MAX_LINE
+        )
+        # Resolve the ephemeral port (port=0) to the bound one.
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            TimeoutError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Loop shutdown cancels handlers parked on readline();
+                # the task is ending anyway, so swallow the wakeup.
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        request_line = await reader.readline()
+        if not request_line or not request_line.strip():
+            return False
+        try:
+            method, target, version = (
+                request_line.decode("ascii").strip().split(" ", 2)
+            )
+        except (UnicodeDecodeError, ValueError):
+            await self._write(
+                writer, Response(status=400, body=b'{"code":400,"message":"malformed request line"}'), False
+            )
+            return False
+
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        wants_close = (
+            headers.get("connection", "").lower() == "close"
+            or version == "HTTP/1.0"
+        )
+        if method not in ("GET", "HEAD"):
+            await self._write(
+                writer,
+                Response(
+                    status=405,
+                    body=b'{"code":405,"message":"only GET is served"}',
+                ),
+                not wants_close,
+            )
+            return not wants_close
+
+        parsed = urllib.parse.urlsplit(target)
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(
+                parsed.query, keep_blank_values=True
+            ).items()
+        }
+        try:
+            response = self.service.handle(parsed.path, params)
+        except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
+            response = Response(
+                status=500,
+                body=b'{"code":500,"message":"internal server error"}',
+            )
+        if method == "HEAD":
+            response = Response(
+                status=response.status,
+                body=b"",
+                content_type=response.content_type,
+                headers=response.headers,
+            )
+        await self._write(writer, response, not wants_close)
+        return not wants_close
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        keep_alive: bool,
+    ) -> None:
+        writer.write(_render(response, keep_alive))
+        await writer.drain()
+
+
+async def run_server(
+    dataset,
+    host: str = "127.0.0.1",
+    port: int = 8547,
+    *,
+    ready_message=None,
+) -> None:
+    """Build the service, bind, announce readiness, serve until cancelled."""
+    server = RelayHTTPServer(QueryService(dataset), host=host, port=port)
+    await server.start()
+    if ready_message is not None:
+        ready_message(server)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()

@@ -1,0 +1,343 @@
+"""Transport-independent request handling for the query service.
+
+:class:`QueryService` maps a ``(path, query params)`` pair to a
+:class:`Response` — no sockets involved, which is what lets the
+conformance and pagination suites drive the exact serving code path
+in-process while the asyncio front end (:mod:`.http`) stays a thin shell.
+
+Endpoints
+---------
+
+Relay data (Flashbots data-API compatible, bare JSON arrays)::
+
+    /relay/v1/data/bidtraces/proposer_payload_delivered
+    /relay/v1/data/bidtraces/builder_blocks_received
+    /relay/v1/data/validators/registration
+
+Analysis (vectorized over the columnar block table, memoized)::
+
+    /analysis/hhi          daily relay + builder market HHI (Fig. 6)
+    /analysis/value_split  daily user-payment decomposition (Fig. 3)
+    /analysis/censorship   compliant-relay + sanctioned shares (Figs. 17/18)
+
+Service metadata: ``/healthz``, ``/relays``, ``/inventory``.
+
+Pagination contract
+-------------------
+
+Bid-trace endpoints return rows slot-descending (ties in relay-record
+order), at most ``limit`` per page (default 200, max 500).  ``cursor``
+resumes from a slot: a bare ``<slot>`` matches the real relay API;
+``<slot>_<skip>`` additionally skips rows already served inside that
+slot, which makes page boundaries exact even when many rows share a
+slot.  The follow-up cursor rides in the ``x-next-cursor`` response
+header — the body stays a spec-shaped bare array, so the paper's own
+collection code could scrape it unchanged.  ``slot`` and ``cursor`` are
+mutually exclusive, as on the real relays.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .index import ALL_RELAYS, Cursor, DatasetIndex, RelayIndexes
+from . import schema
+
+DEFAULT_LIMIT = 200
+MAX_LIMIT = 500
+
+_JSON = "application/json"
+
+
+class ServeError(Exception):
+    """An error response: HTTP status plus the relay-style message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Response:
+    """One finished response, transport-agnostic."""
+
+    status: int
+    body: bytes
+    content_type: str = _JSON
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def json(self):
+        """Decode the body (test/client convenience)."""
+        return json.loads(self.body)
+
+
+def _error_response(status: int, message: str) -> Response:
+    # The relay error shape: {"code": ..., "message": ...}.
+    return Response(
+        status=status,
+        body=schema.dump_json({"code": status, "message": message}),
+    )
+
+
+def _ok(payload, headers: dict[str, str] | None = None) -> Response:
+    return Response(status=200, body=schema.dump_json(payload), headers=headers or {})
+
+
+def _parse_int(params: dict[str, str], name: str) -> int | None:
+    text = params.get(name)
+    if text is None:
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise ServeError(400, f"invalid {name} argument") from None
+    if value < 0:
+        raise ServeError(400, f"invalid {name} argument")
+    return value
+
+
+class QueryService:
+    """The query layer over one collected dataset.
+
+    ``dataset`` needs ``.relays`` (name -> relay with an append-only
+    ``.data`` store); the analysis endpoints additionally need the full
+    :class:`~repro.datasets.collector.StudyDataset` surface and return
+    503 when it is absent (store-only test harnesses).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        *,
+        default_limit: int = DEFAULT_LIMIT,
+        max_limit: int = MAX_LIMIT,
+    ) -> None:
+        self.dataset = dataset
+        self.default_limit = default_limit
+        self.max_limit = max_limit
+        self.index = DatasetIndex.from_dataset(dataset)
+        self._analysis_cache: dict[str, object] = {}
+        self._routes = {
+            "/relay/v1/data/bidtraces/proposer_payload_delivered": (
+                self._payload_delivered
+            ),
+            "/relay/v1/data/bidtraces/builder_blocks_received": (
+                self._builder_blocks_received
+            ),
+            "/relay/v1/data/validators/registration": self._registrations,
+            "/analysis/hhi": self._analysis_hhi,
+            "/analysis/value_split": self._analysis_value_split,
+            "/analysis/censorship": self._analysis_censorship,
+            "/healthz": self._healthz,
+            "/relays": self._relays,
+            "/inventory": self._inventory,
+        }
+
+    # -- dispatch -------------------------------------------------------
+
+    def handle(self, path: str, params: dict[str, str]) -> Response:
+        handler = self._routes.get(path.rstrip("/") or "/")
+        if handler is None:
+            return _error_response(404, f"no such endpoint: {path}")
+        try:
+            return handler(params)
+        except ServeError as error:
+            return _error_response(error.status, error.message)
+
+    # -- shared request plumbing ---------------------------------------
+
+    def _relay_indexes(self, params: dict[str, str]) -> RelayIndexes:
+        name = params.get("relay")
+        indexes = self.index.for_relay(name)
+        if indexes is None:
+            known = ", ".join(self.index.relay_names()) or "(none)"
+            raise ServeError(404, f"unknown relay {name!r}; serving: {known}")
+        return indexes
+
+    def _limit(self, params: dict[str, str]) -> int:
+        limit = _parse_int(params, "limit")
+        if limit is None:
+            return self.default_limit
+        if limit == 0:
+            raise ServeError(400, "limit must be a positive integer")
+        if limit > self.max_limit:
+            raise ServeError(400, f"maximum limit is {self.max_limit}")
+        return limit
+
+    def _paged(self, slot_index, params: dict[str, str], encode) -> Response:
+        slot = _parse_int(params, "slot")
+        cursor_text = params.get("cursor")
+        if slot is not None and cursor_text is not None:
+            raise ServeError(400, "cannot specify both slot and cursor")
+        limit = self._limit(params)
+        if slot is not None:
+            lo, hi = slot_index.slot_span(slot)
+            rows = slot_index.rows_at(lo, min(hi, lo + limit))
+            return _ok([encode(row) for row in rows])
+        cursor = None
+        if cursor_text is not None:
+            try:
+                cursor = Cursor.parse(cursor_text)
+            except ValueError:
+                raise ServeError(400, "invalid cursor argument") from None
+        page = slot_index.page(cursor, limit)
+        headers = {"x-total-count": str(page.total)}
+        if page.next_cursor is not None:
+            headers["x-next-cursor"] = page.next_cursor
+        return _ok([encode(row) for row in page.rows], headers)
+
+    # -- relay data endpoints ------------------------------------------
+
+    def _payload_delivered(self, params: dict[str, str]) -> Response:
+        indexes = self._relay_indexes(params)
+        block_hash = params.get("block_hash")
+        if block_hash is not None:
+            rows = indexes.payloads_by_hash.get(block_hash, [])
+            return _ok(
+                [schema.encode_delivered(row, self.index.join) for row in rows]
+            )
+        return self._paged(
+            indexes.payloads,
+            params,
+            lambda row: schema.encode_delivered(row, self.index.join),
+        )
+
+    def _builder_blocks_received(self, params: dict[str, str]) -> Response:
+        indexes = self._relay_indexes(params)
+        block_hash = params.get("block_hash")
+        if block_hash is not None:
+            rows = indexes.submissions_by_hash.get(block_hash, [])
+            return _ok(
+                [schema.encode_submission(row, self.index.join) for row in rows]
+            )
+        return self._paged(
+            indexes.submissions,
+            params,
+            lambda row: schema.encode_submission(row, self.index.join),
+        )
+
+    def _registrations(self, params: dict[str, str]) -> Response:
+        indexes = self._relay_indexes(params)
+        pubkey = params.get("pubkey")
+        if pubkey is not None:
+            registration = indexes.registration_by_pubkey.get(pubkey)
+            if registration is None:
+                # The real relays answer unknown pubkeys with 400.
+                raise ServeError(400, "no registration found for validator")
+            return _ok(schema.encode_registration(registration))
+        return self._paged(
+            indexes.registrations, params, schema.encode_registration
+        )
+
+    # -- analysis endpoints --------------------------------------------
+
+    def _analysis(self, key: str, compute):
+        cached = self._analysis_cache.get(key)
+        if cached is None:
+            if getattr(self.dataset, "table", None) is None:
+                raise ServeError(503, "analysis unavailable: no block table")
+            cached = compute()
+            self._analysis_cache[key] = cached
+        return cached
+
+    def _analysis_hhi(self, params: dict[str, str]) -> Response:
+        def compute():
+            from ..analysis.builders import daily_builder_shares
+            from ..analysis.concentration import daily_hhi_series
+            from ..analysis.relays import daily_relay_shares
+
+            relay = daily_hhi_series("relay HHI", daily_relay_shares(self.dataset))
+            builder = daily_hhi_series(
+                "builder HHI", daily_builder_shares(self.dataset)
+            )
+            return {
+                "relay": schema.encode_series(relay),
+                "builder": schema.encode_series(builder),
+            }
+
+        return _ok(self._analysis("hhi", compute))
+
+    def _analysis_value_split(self, params: dict[str, str]) -> Response:
+        def compute():
+            from ..analysis.rewards import daily_user_payment_shares
+
+            base, priority, direct = daily_user_payment_shares(self.dataset)
+            return {
+                "base_fee": schema.encode_series(base),
+                "priority_fee": schema.encode_series(priority),
+                "direct_transfer": schema.encode_series(direct),
+            }
+
+        return _ok(self._analysis("value_split", compute))
+
+    def _analysis_censorship(self, params: dict[str, str]) -> Response:
+        def compute():
+            from ..analysis.censorship import (
+                daily_compliant_relay_share,
+                daily_sanctioned_share,
+                overall_sanctioned_shares,
+            )
+
+            pbs, non_pbs = daily_sanctioned_share(self.dataset)
+            return {
+                "compliant_relay_share": schema.encode_series(
+                    daily_compliant_relay_share(self.dataset)
+                ),
+                "sanctioned_share": {
+                    "pbs": schema.encode_series(pbs),
+                    "non_pbs": schema.encode_series(non_pbs),
+                },
+                "overall": overall_sanctioned_shares(self.dataset),
+            }
+
+        return _ok(self._analysis("censorship", compute))
+
+    # -- metadata -------------------------------------------------------
+
+    def _healthz(self, params: dict[str, str]) -> Response:
+        combined = self.index.relays[ALL_RELAYS]
+        return _ok(
+            {
+                "status": "ok",
+                "relays": len(self.index.relay_names()),
+                "payloads": len(combined.payloads),
+                "submissions": len(combined.submissions),
+                "registrations": len(combined.registrations),
+            }
+        )
+
+    def _relays(self, params: dict[str, str]) -> Response:
+        rows = []
+        for name in self.index.relay_names():
+            indexes = self.index.relays[name]
+            relay = self.dataset.relays[name]
+            rows.append(
+                {
+                    "name": name,
+                    "endpoint": getattr(relay, "endpoint", ""),
+                    "payloads": len(indexes.payloads),
+                    "submissions": len(indexes.submissions),
+                    "registrations": len(indexes.registrations),
+                }
+            )
+        return _ok(rows)
+
+    def _inventory(self, params: dict[str, str]) -> Response:
+        inventory = getattr(self.dataset, "inventory", None)
+        if inventory is None:
+            raise ServeError(503, "inventory unavailable")
+        return _ok(
+            {
+                "blocks": inventory.blocks,
+                "transactions": inventory.transactions,
+                "logs": inventory.logs,
+                "traces": inventory.traces,
+                "mev_labels_by_source": inventory.mev_labels_by_source,
+                "mev_labels_union": inventory.mev_labels_union,
+                "mempool_arrival_times": inventory.mempool_arrival_times,
+                "relay_data_entries": inventory.relay_data_entries,
+                "ofac_addresses": inventory.ofac_addresses,
+            }
+        )

@@ -73,7 +73,7 @@ class TestPayloads:
         store = RelayDataStore("r")
         store.record_delivery(_payload(slot=3))
         assert len(store.get_payloads_delivered(slot=3)) == 1
-        assert store.get_payloads_delivered(slot=4) == []
+        assert store.get_payloads_delivered(slot=4) == ()
 
 
 class TestInventory:
@@ -83,3 +83,46 @@ class TestInventory:
         store.record_submission(_submission())
         store.record_delivery(_payload())
         assert store.total_entries() == 3
+
+
+class TestQueryImmutability:
+    """Queries return immutable views — a caller can never mutate the
+    append-only store through a query result (regression: the old list
+    copies invited `results.append(...)`-style accidents that silently
+    diverged from the store)."""
+
+    def _populated(self):
+        store = RelayDataStore("r")
+        store.record_registration(_registration())
+        store.record_submission(_submission(slot=1))
+        store.record_delivery(_payload(slot=1))
+        return store
+
+    def test_results_are_tuples(self):
+        store = self._populated()
+        assert isinstance(store.get_validator_registrations(), tuple)
+        assert isinstance(store.get_builder_blocks_received(), tuple)
+        assert isinstance(store.get_builder_blocks_received(slot=1), tuple)
+        assert isinstance(store.get_payloads_delivered(), tuple)
+        assert isinstance(store.get_payloads_delivered(slot=1), tuple)
+
+    def test_mutating_a_result_is_impossible_and_store_unchanged(self):
+        import pytest
+
+        store = self._populated()
+        for result in (
+            store.get_validator_registrations(),
+            store.get_builder_blocks_received(),
+            store.get_payloads_delivered(),
+        ):
+            with pytest.raises((TypeError, AttributeError)):
+                result.append("bogus")
+            with pytest.raises(TypeError):
+                result[0] = "bogus"
+        assert store.total_entries() == 3
+
+    def test_rows_are_shared_not_copied(self):
+        # Immutability comes from the container + frozen dataclasses;
+        # the rows themselves are the store's own objects (no deep copy).
+        store = self._populated()
+        assert store.get_payloads_delivered()[0] is store.get_payloads_delivered()[0]

@@ -1,0 +1,122 @@
+"""Served /analysis/* responses are bit-identical to in-process analysis.
+
+The service must be a transparent window onto the analysis layer: the
+JSON a client decodes equals what calling the analysis functions
+directly returns — float-for-float (JSON shortest-repr round-trips
+doubles exactly), for both dataset backends — and the two backends
+serve byte-identical bodies.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.builders import daily_builder_shares
+from repro.analysis.censorship import (
+    daily_compliant_relay_share,
+    daily_sanctioned_share,
+    overall_sanctioned_shares,
+)
+from repro.analysis.concentration import daily_hhi_series
+from repro.analysis.relays import daily_relay_shares
+from repro.analysis.rewards import daily_user_payment_shares
+from repro.datasets.collector import collect_study_dataset
+from repro.serve import QueryService
+from repro.serve.schema import decode_series, encode_series
+from repro.simulation.config import small_test_config
+from repro.simulation.world import build_world
+
+ANALYSIS_PATHS = ["/analysis/hhi", "/analysis/value_split", "/analysis/censorship"]
+
+
+@pytest.fixture(scope="module")
+def services():
+    config = small_test_config(num_days=5, blocks_per_day=8)
+    columnar = collect_study_dataset(build_world(config))
+    object_backed = collect_study_dataset(
+        build_world(config.with_overrides(dataset_backend="object"))
+    )
+    return {
+        "columnar": (columnar, QueryService(columnar)),
+        "object": (object_backed, QueryService(object_backed)),
+    }
+
+
+@pytest.mark.parametrize("backend", ["columnar", "object"])
+def test_hhi_matches_in_process(services, backend):
+    dataset, service = services[backend]
+    served = service.handle("/analysis/hhi", {}).json()
+    assert served == {
+        "relay": encode_series(
+            daily_hhi_series("relay HHI", daily_relay_shares(dataset))
+        ),
+        "builder": encode_series(
+            daily_hhi_series("builder HHI", daily_builder_shares(dataset))
+        ),
+    }
+    # The wire encoding is lossless: decoding recovers the exact series.
+    assert decode_series(served["relay"]) == daily_hhi_series(
+        "relay HHI", daily_relay_shares(dataset)
+    )
+
+
+@pytest.mark.parametrize("backend", ["columnar", "object"])
+def test_value_split_matches_in_process(services, backend):
+    dataset, service = services[backend]
+    served = service.handle("/analysis/value_split", {}).json()
+    base, priority, direct = daily_user_payment_shares(dataset)
+    assert served == {
+        "base_fee": encode_series(base),
+        "priority_fee": encode_series(priority),
+        "direct_transfer": encode_series(direct),
+    }
+    assert decode_series(served["priority_fee"]) == priority
+
+
+@pytest.mark.parametrize("backend", ["columnar", "object"])
+def test_censorship_matches_in_process(services, backend):
+    dataset, service = services[backend]
+    served = service.handle("/analysis/censorship", {}).json()
+    pbs, non_pbs = daily_sanctioned_share(dataset)
+    assert served == {
+        "compliant_relay_share": encode_series(
+            daily_compliant_relay_share(dataset)
+        ),
+        "sanctioned_share": {
+            "pbs": encode_series(pbs),
+            "non_pbs": encode_series(non_pbs),
+        },
+        "overall": overall_sanctioned_shares(dataset),
+    }
+
+
+@pytest.mark.parametrize("path", ANALYSIS_PATHS)
+def test_backends_serve_identical_bytes(services, path):
+    _, columnar_service = services["columnar"]
+    _, object_service = services["object"]
+    columnar = columnar_service.handle(path, {})
+    object_backed = object_service.handle(path, {})
+    assert columnar.status == object_backed.status == 200
+    assert columnar.body == object_backed.body
+
+
+@pytest.mark.parametrize("path", ANALYSIS_PATHS)
+def test_repeated_requests_are_stable(services, path):
+    _, service = services["columnar"]
+    assert service.handle(path, {}).body == service.handle(path, {}).body
+
+
+def test_store_only_dataset_returns_503():
+    from types import SimpleNamespace
+
+    from repro.core.relay_api import RelayDataStore
+
+    dataset = SimpleNamespace(
+        relays={"r1": SimpleNamespace(data=RelayDataStore("r1"))}
+    )
+    service = QueryService(dataset)
+    response = service.handle("/analysis/hhi", {})
+    assert response.status == 503
+    assert json.loads(response.body)["code"] == 503

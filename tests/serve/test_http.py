@@ -1,0 +1,178 @@
+"""Socket-level tests of the asyncio HTTP front end.
+
+Raw-bytes clients (no HTTP library) against a live server on an
+ephemeral port: keep-alive reuse, HEAD, method/path errors, query
+parsing, pipelined sequential requests, and concurrent connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import QueryService, RelayHTTPServer
+
+from .conftest import build_golden_dataset
+
+PAYLOADS_PATH = "/relay/v1/data/bidtraces/proposer_payload_delivered"
+
+
+async def _read_response(reader: asyncio.StreamReader):
+    status_line = await reader.readline()
+    _, status, _ = status_line.decode().split(" ", 2)
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers["content-length"]))
+    return int(status), headers, body
+
+
+async def _request(reader, writer, target: str, method: str = "GET"):
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nhost: test\r\n\r\n".encode()
+    )
+    await writer.drain()
+    return await _read_response(reader)
+
+
+def _with_server(scenario):
+    async def runner():
+        server = RelayHTTPServer(QueryService(build_golden_dataset()))
+        await server.start()
+        try:
+            await scenario(server)
+        finally:
+            await server.close()
+
+    asyncio.run(runner())
+
+
+def test_keep_alive_serves_multiple_requests():
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        status, headers, body = await _request(reader, writer, PAYLOADS_PATH)
+        assert status == 200
+        assert headers["connection"] == "keep-alive"
+        assert headers["content-type"] == "application/json"
+        assert headers["x-total-count"] == "3"
+        assert len(json.loads(body)) == 3
+        # Same connection, different endpoint.
+        status, _, body = await _request(reader, writer, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        writer.close()
+        await writer.wait_closed()
+
+    _with_server(scenario)
+
+
+def test_query_string_reaches_the_service():
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        status, _, body = await _request(
+            reader, writer, f"{PAYLOADS_PATH}?relay=flashbots&limit=1"
+        )
+        assert status == 200
+        rows = json.loads(body)
+        assert len(rows) == 1
+        assert rows[0]["slot"] == "8001"
+        writer.close()
+        await writer.wait_closed()
+
+    _with_server(scenario)
+
+
+def test_head_returns_headers_without_body():
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        status, headers, body = await _request(
+            reader, writer, PAYLOADS_PATH, method="HEAD"
+        )
+        assert status == 200
+        assert body == b""
+        assert headers["content-length"] == "0"
+        assert headers["x-total-count"] == "3"
+        writer.close()
+        await writer.wait_closed()
+
+    _with_server(scenario)
+
+
+@pytest.mark.parametrize(
+    ("method", "target", "expected"),
+    [
+        ("POST", PAYLOADS_PATH, 405),
+        ("GET", "/nope", 404),
+        ("GET", f"{PAYLOADS_PATH}?limit=banana", 400),
+    ],
+)
+def test_error_statuses_over_the_wire(method, target, expected):
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        status, _, body = await _request(reader, writer, target, method=method)
+        assert status == expected
+        assert json.loads(body)["code"] == expected
+        # The connection survives an application error.
+        status, _, _ = await _request(reader, writer, "/healthz")
+        assert status == 200
+        writer.close()
+        await writer.wait_closed()
+
+    _with_server(scenario)
+
+
+def test_connection_close_is_honored():
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(
+            f"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        status, headers, _ = await _read_response(reader)
+        assert status == 200
+        assert headers["connection"] == "close"
+        assert await reader.read() == b""  # server closed its end
+        writer.close()
+        await writer.wait_closed()
+
+    _with_server(scenario)
+
+
+def test_fifty_concurrent_connections():
+    async def scenario(server):
+        async def one_client(i: int) -> int:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            status, _, body = await _request(
+                reader, writer, f"{PAYLOADS_PATH}?limit={1 + i % 3}"
+            )
+            writer.close()
+            await writer.wait_closed()
+            assert status == 200
+            return len(json.loads(body))
+
+        sizes = await asyncio.gather(*(one_client(i) for i in range(50)))
+        assert sorted(set(sizes)) == [1, 2, 3]
+
+    _with_server(scenario)
+
+
+def test_malformed_request_line_gets_400():
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(b"NONSENSE\r\n\r\n")
+        await writer.drain()
+        status, _, body = await _read_response(reader)
+        assert status == 400
+        assert json.loads(body)["code"] == 400
+        writer.close()
+        await writer.wait_closed()
+
+    _with_server(scenario)
