@@ -1,16 +1,25 @@
 """Load benchmark for ``python -m repro serve``.
 
-Boots the service as a subprocess, waits for its ``READY <url>`` line,
-then drives N concurrent keep-alive clients through a deterministic
-workload mix — payload cursor walks (the index-layer pagination path),
-exact-slot submission queries, registration pages and the /analysis/*
-endpoints — and reports latency percentiles and throughput into
-``BENCH_serve.json``.
+Boots the service as a subprocess, waits for its ``READY <url>
+workers=<n>`` line, then drives N concurrent keep-alive clients through
+a deterministic workload mix — payload cursor walks (the index-layer
+pagination path), exact-slot submission queries, registration pages,
+the /analysis/* endpoints and service metadata — and reports latency
+percentiles and throughput into ``BENCH_serve.json``.  Percentiles are
+recorded overall *and* per endpoint class (``paginated`` / ``analysis``
+/ ``metadata``), so wins from the wire-encoding caches are attributable
+to the path they touch.
 
 Modes::
 
     python benchmarks/bench_serve.py --mode full    # 198-day artifact, >=1000 clients
     python benchmarks/bench_serve.py --mode smoke   # small world, 100 clients (CI)
+
+``--workers N`` serves through the pre-forked worker pool;
+``--worker-curve 1,2,4`` repeats the run per worker count and records an
+rps/p50/p99 scaling curve (with ``host_cpus`` and per-point
+``oversubscribed`` annotations, matching the ``--shard-curve``
+convention in ``bench_perf_world.py``).
 
 ``--baseline BENCH_serve.json`` turns the run into a pass/fail gate:
 any 5xx fails, and so does a p99 above ``max(--max-p99-ratio x the
@@ -23,6 +32,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import pathlib
 import statistics
 import subprocess
@@ -36,6 +46,7 @@ PAYLOADS = "/relay/v1/data/bidtraces/proposer_payload_delivered"
 SUBMISSIONS = "/relay/v1/data/bidtraces/builder_blocks_received"
 REGISTRATIONS = "/relay/v1/data/validators/registration"
 ANALYSIS = ["/analysis/hhi", "/analysis/value_split", "/analysis/censorship"]
+METADATA = ["/relays", "/inventory", "/healthz"]
 
 MODES = {
     "full": {
@@ -45,7 +56,7 @@ MODES = {
         "description": (
             "198-day benchmark artifact (CLI defaults), keep-alive clients, "
             "mixed workload: cursor walks / slot queries / registrations / "
-            "analysis"
+            "analysis / metadata"
         ),
     },
     "smoke": {
@@ -58,6 +69,14 @@ MODES = {
 }
 
 
+def _endpoint_class(target: str) -> str:
+    if target.startswith("/analysis/"):
+        return "analysis"
+    if target.startswith("/relay/v1/data/"):
+        return "paginated"
+    return "metadata"
+
+
 class Client:
     """One keep-alive connection issuing its deterministic request mix."""
 
@@ -66,14 +85,14 @@ class Client:
         self.port = port
         self.index = index
         self.requests = requests
-        self.latencies_ms: list[float] = []
+        self.latencies_ms: list[tuple[str, float]] = []
         self.statuses: dict[int, int] = {}
         self.failures = 0
 
     def _targets(self):
         """The request sequence for this client — varied but deterministic."""
         for n in range(self.requests):
-            kind = (self.index + n) % 5
+            kind = (self.index + n) % 6
             if kind == 0:
                 # Cursor walk start page: the searchsorted seek path.
                 yield f"{PAYLOADS}?limit=100", "walk"
@@ -85,6 +104,8 @@ class Client:
                 yield f"{REGISTRATIONS}?limit={50 + self.index % 200}", None
             elif kind == 3:
                 yield ANALYSIS[(self.index + n) % len(ANALYSIS)], None
+            elif kind == 4:
+                yield METADATA[(self.index + n) % len(METADATA)], None
             else:
                 yield f"{PAYLOADS}?limit={1 + self.index % 500}", None
 
@@ -122,7 +143,9 @@ class Client:
         writer.write(f"GET {target} HTTP/1.1\r\nhost: bench\r\n\r\n".encode())
         await writer.drain()
         status, headers = await _read_response(reader)
-        self.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+        self.latencies_ms.append(
+            (_endpoint_class(target), (time.perf_counter() - start) * 1000.0)
+        )
         self.statuses[status] = self.statuses.get(status, 0) + 1
         return headers.get("x-next-cursor")
 
@@ -148,9 +171,20 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[position]
 
 
+def _latency_stats(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "p50": round(_percentile(ordered, 0.50), 3),
+        "p90": round(_percentile(ordered, 0.90), 3),
+        "p99": round(_percentile(ordered, 0.99), 3),
+        "mean": round(statistics.fmean(ordered), 3) if ordered else 0.0,
+        "max": round(ordered[-1], 3) if ordered else 0.0,
+    }
+
+
 async def _drive(host: str, port: int, clients: int, requests: int) -> dict:
     # Warm the analysis cache and the index before timing.
-    warmup = Client(host, port, index=3, requests=len(ANALYSIS) + 2)
+    warmup = Client(host, port, index=3, requests=len(ANALYSIS) + 3)
     await warmup.run(asyncio.Semaphore(1))
     if warmup.failures:
         raise RuntimeError("warmup requests failed")
@@ -163,7 +197,11 @@ async def _drive(host: str, port: int, clients: int, requests: int) -> dict:
     await asyncio.gather(*(c.run(gate) for c in fleet))
     wall = time.perf_counter() - started
 
-    latencies = sorted(l for c in fleet for l in c.latencies_ms)
+    samples = [sample for c in fleet for sample in c.latencies_ms]
+    latencies = [latency for _, latency in samples]
+    by_class: dict[str, list[float]] = {}
+    for endpoint_class, latency in samples:
+        by_class.setdefault(endpoint_class, []).append(latency)
     statuses: dict[int, int] = {}
     for c in fleet:
         for status, count in c.statuses.items():
@@ -174,12 +212,13 @@ async def _drive(host: str, port: int, clients: int, requests: int) -> dict:
         "requests": len(latencies),
         "wall_seconds": round(wall, 3),
         "requests_per_second": round(len(latencies) / wall, 1) if wall else 0.0,
-        "latency_ms": {
-            "p50": round(_percentile(latencies, 0.50), 3),
-            "p90": round(_percentile(latencies, 0.90), 3),
-            "p99": round(_percentile(latencies, 0.99), 3),
-            "mean": round(statistics.fmean(latencies), 3) if latencies else 0.0,
-            "max": round(latencies[-1], 3) if latencies else 0.0,
+        "latency_ms": _latency_stats(latencies),
+        "latency_ms_by_class": {
+            endpoint_class: {
+                "requests": len(values),
+                **_latency_stats(values),
+            }
+            for endpoint_class, values in sorted(by_class.items())
         },
         "status_counts": {str(k): v for k, v in sorted(statuses.items())},
         "connection_failures": failures,
@@ -202,7 +241,8 @@ def _launch_server(serve_args: list[str]) -> tuple[subprocess.Popen, str, int]:
     while True:
         line = process.stdout.readline()
         if line.startswith("READY "):
-            url = line.split(" ", 1)[1].strip()
+            # "READY <url> workers=<n>"
+            url = line.split()[1]
             break
         if not line and process.poll() is not None:
             raise RuntimeError(f"server exited early with {process.returncode}")
@@ -211,6 +251,20 @@ def _launch_server(serve_args: list[str]) -> tuple[subprocess.Popen, str, int]:
             raise RuntimeError("server never became ready")
     host, port_text = url.removeprefix("http://").rsplit(":", 1)
     return process, host, int(port_text)
+
+
+def _run_point(serve_args: list[str], clients: int, requests: int) -> dict:
+    process, host, port = _launch_server(serve_args)
+    try:
+        print(
+            f"[bench_serve] driving {clients} clients x {requests} requests "
+            f"against {host}:{port}",
+            file=sys.stderr,
+        )
+        return asyncio.run(_drive(host, port, clients, requests))
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
 
 
 def _gate(section: dict, baseline_path: pathlib.Path, mode: str,
@@ -244,6 +298,16 @@ def main() -> int:
     parser.add_argument("--mode", choices=sorted(MODES), default="smoke")
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument("--requests-per-client", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="serve with this many pre-forked workers",
+    )
+    parser.add_argument(
+        "--worker-curve", default=None,
+        help="comma-separated worker counts (e.g. 1,2,4): run the load "
+             "once per count and record the scaling curve; the 1-worker "
+             "point doubles as the section's headline numbers",
+    )
     parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
@@ -262,18 +326,63 @@ def main() -> int:
     clients = args.clients or spec["clients"]
     requests = args.requests_per_client or spec["requests_per_client"]
 
-    print(f"[bench_serve] booting server ({args.mode})...", file=sys.stderr)
-    process, host, port = _launch_server(spec["serve_args"])
-    try:
+    if args.worker_curve:
+        counts = [int(w) for w in args.worker_curve.split(",") if w]
+        host_cpus = os.cpu_count() or 1
+        points = []
+        section = None
+        for workers in counts:
+            print(
+                f"[bench_serve] booting server ({args.mode}, "
+                f"workers={workers})...",
+                file=sys.stderr,
+            )
+            run = _run_point(
+                spec["serve_args"] + ["--workers", str(workers)],
+                clients, requests,
+            )
+            points.append({"workers": workers, **{
+                "requests_per_second": run["requests_per_second"],
+                "p50_ms": run["latency_ms"]["p50"],
+                "p99_ms": run["latency_ms"]["p99"],
+            }})
+            if section is None or workers == 1:
+                section = run
+        baseline_rps = next(
+            (p["requests_per_second"] for p in points if p["workers"] == 1),
+            None,
+        )
+        for point in points:
+            # A worker count beyond the host's CPUs measures scheduler
+            # contention, not scaling — annotate it and skip the speedup
+            # claim rather than publish a misleading number.
+            oversubscribed = host_cpus < point["workers"]
+            point["oversubscribed"] = oversubscribed
+            point["speedup_vs_one_worker"] = (
+                None
+                if oversubscribed or not baseline_rps
+                else round(point["requests_per_second"] / baseline_rps, 2)
+            )
+        section["worker_curve"] = {
+            "description": (
+                "same client load against --workers N; kernel "
+                "SO_REUSEPORT load-balancing across pre-forked workers"
+            ),
+            "host_cpus": host_cpus,
+            "points": points,
+        }
+    else:
+        serve_args = list(spec["serve_args"])
+        if args.workers > 1:
+            serve_args += ["--workers", str(args.workers)]
         print(
-            f"[bench_serve] driving {clients} clients x {requests} requests "
-            f"against {host}:{port}",
+            f"[bench_serve] booting server ({args.mode}, "
+            f"workers={args.workers})...",
             file=sys.stderr,
         )
-        section = asyncio.run(_drive(host, port, clients, requests))
-    finally:
-        process.terminate()
-        process.wait(timeout=30)
+        section = _run_point(serve_args, clients, requests)
+        if args.workers > 1:
+            section["workers"] = args.workers
     section["description"] = spec["description"]
     print(json.dumps({args.mode: section}, indent=2))
 

@@ -292,11 +292,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if not args.no_artifact_cache:
             save_study_artifact(config, dataset, cache_dir)
 
+    relays = ", ".join(sorted(dataset.relays)) or "(no relays)"
+
+    if args.workers > 1:
+        from .serve.workers import serve_pool
+
+        def announce_pool(url: str, workers: int) -> None:
+            print(f"serving relays: {relays}", file=sys.stderr)
+            # The machine-readable readiness line load generators wait
+            # for — emitted only once every worker socket is accepting.
+            print(f"READY {url} workers={workers}", flush=True)
+
+        return serve_pool(
+            dataset,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            announce=announce_pool,
+        )
+
     def announce(server) -> None:
-        relays = ", ".join(sorted(dataset.relays)) or "(no relays)"
         print(f"serving relays: {relays}", file=sys.stderr)
         # The machine-readable readiness line load generators wait for.
-        print(f"READY {server.url}", flush=True)
+        print(f"READY {server.url} workers=1", flush=True)
 
     try:
         asyncio.run(
@@ -384,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8547, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-forked serving processes sharing the port via "
+             "SO_REUSEPORT (1 = single-process asyncio, the default)",
     )
     serve.add_argument(
         "--artifact-dir", default=None,

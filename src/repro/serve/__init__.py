@@ -12,15 +12,20 @@ collection code could scrape:
 * :mod:`service` — transport-independent request handling (the unit the
   conformance and property suites drive);
 * :mod:`http` — a stdlib-asyncio HTTP/1.1 front end with keep-alive,
-  sized for thousands of concurrent load-generator clients.
+  sized for thousands of concurrent load-generator clients;
+* :mod:`workers` — a pre-forked ``SO_REUSEPORT`` worker pool sharing
+  the dataset, indexes and wire-encoding blobs copy-on-write, with a
+  supervising parent (crash restarts, graceful SIGTERM drain).
 
 ``python -m repro serve`` boots the service over the artifact cache
-(mmap-warm columnar loads) or a freshly simulated world.
+(mmap-warm columnar loads) or a freshly simulated world;
+``--workers N`` scales it across cores.
 """
 
 from .index import DatasetIndex, SlotIndex
 from .service import QueryService, Response, ServeError
 from .http import RelayHTTPServer, run_server
+from .workers import WorkerPool, serve_pool
 
 __all__ = [
     "DatasetIndex",
@@ -30,4 +35,6 @@ __all__ = [
     "Response",
     "ServeError",
     "run_server",
+    "serve_pool",
+    "WorkerPool",
 ]

@@ -6,11 +6,23 @@ framework — the container bakes in only the scientific stack, and the
 service's needs (parse a request line, dispatch, frame a response) fit in
 a page of code that the load benchmark can push to thousands of
 concurrent connections.
+
+Hot-path notes: the response head for a given ``(status, content-type)``
+pair is rendered once and cached (only the content-length digits and the
+connection/extra headers vary per response), and targets without a query
+string skip ``urlsplit``/``parse_qs`` entirely.
+
+The server also supports graceful draining (:meth:`RelayHTTPServer.
+drain`): stop accepting, let any request currently being processed
+finish and be written out, close idle keep-alive connections — the
+primitive the pre-fork worker pool (:mod:`.workers`) builds SIGTERM
+handling on.
 """
 
 from __future__ import annotations
 
 import asyncio
+import signal
 import urllib.parse
 
 from .service import QueryService, Response
@@ -20,6 +32,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -30,19 +43,47 @@ _REASONS = {
 _MAX_LINE = 8192
 _MAX_HEADERS = 64
 
+#: Rendered head prefixes per (status, content-type): everything up to
+#: and including ``content-length: `` — the per-response remainder is
+#: just the length digits plus the connection/extra header lines.
+_HEAD_PREFIXES: dict[tuple[int, str], bytes] = {}
 
-def _render(response: Response, keep_alive: bool) -> bytes:
-    reason = _REASONS.get(response.status, "Unknown")
-    lines = [
-        f"HTTP/1.1 {response.status} {reason}",
-        f"content-type: {response.content_type}",
-        f"content-length: {len(response.body)}",
-        f"connection: {'keep-alive' if keep_alive else 'close'}",
+_CONNECTION_KEEP_ALIVE = b"\r\nconnection: keep-alive"
+_CONNECTION_CLOSE = b"\r\nconnection: close"
+_HEAD_END = b"\r\n\r\n"
+
+
+def _render(response: Response, keep_alive: bool, head_only: bool = False) -> bytes:
+    key = (response.status, response.content_type)
+    prefix = _HEAD_PREFIXES.get(key)
+    if prefix is None:
+        reason = _REASONS.get(response.status, "Unknown")
+        prefix = (
+            f"HTTP/1.1 {response.status} {reason}\r\n"
+            f"content-type: {response.content_type}\r\n"
+            "content-length: "
+        ).encode("ascii")
+        _HEAD_PREFIXES[key] = prefix
+    parts = [
+        prefix,
+        str(len(response.body)).encode("ascii"),
+        _CONNECTION_KEEP_ALIVE if keep_alive else _CONNECTION_CLOSE,
     ]
     for name, value in response.headers.items():
-        lines.append(f"{name}: {value}")
-    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
-    return head + response.body
+        parts.append(f"\r\n{name}: {value}".encode("ascii"))
+    parts.append(_HEAD_END)
+    if not head_only:
+        parts.append(response.body)
+    return b"".join(parts)
+
+
+class _ConnectionState:
+    """Per-connection drain bookkeeping: is a request mid-flight?"""
+
+    __slots__ = ("busy",)
+
+    def __init__(self) -> None:
+        self.busy = False
 
 
 class RelayHTTPServer:
@@ -53,16 +94,26 @@ class RelayHTTPServer:
         service: QueryService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        sock=None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self._sock = sock
         self._server: asyncio.AbstractServer | None = None
+        self._connections: dict[asyncio.Task, _ConnectionState] = {}
+        self._draining = False
 
     async def start(self) -> "RelayHTTPServer":
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port, limit=_MAX_LINE
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock, limit=_MAX_LINE
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, limit=_MAX_LINE
+            )
         # Resolve the ephemeral port (port=0) to the bound one.
         self.port = self._server.sockets[0].getsockname()[1]
         return self
@@ -82,24 +133,54 @@ class RelayHTTPServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: finish in-flight requests, drop idle ones.
+
+        Stops accepting new connections, cancels connections parked
+        between requests (idle keep-alive), and gives connections with a
+        request mid-flight up to ``timeout`` seconds to write their
+        response and exit (the per-request loop observes ``_draining``
+        and closes after the response).  Anything still alive after the
+        timeout is cancelled.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for task, state in list(self._connections.items()):
+            if not state.busy:
+                task.cancel()
+        if self._connections:
+            await asyncio.wait(set(self._connections), timeout=timeout)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.wait(set(self._connections), timeout=1.0)
+
     # -- connection handling -------------------------------------------
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        state = _ConnectionState()
+        self._connections[task] = state
         try:
             while True:
-                keep_alive = await self._handle_one(reader, writer)
-                if not keep_alive:
+                keep_alive = await self._handle_one(reader, writer, state)
+                if not keep_alive or self._draining:
                     break
         except (
             asyncio.IncompleteReadError,
             asyncio.LimitOverrunError,
+            asyncio.CancelledError,
             ConnectionError,
             TimeoutError,
         ):
+            # CancelledError: drain() dropping an idle keep-alive
+            # connection — the task is ending either way.
             pass
         finally:
+            self._connections.pop(task, None)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -109,9 +190,14 @@ class RelayHTTPServer:
                 pass
 
     async def _handle_one(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        state: _ConnectionState,
     ) -> bool:
+        state.busy = False
         request_line = await reader.readline()
+        state.busy = True
         if not request_line or not request_line.strip():
             return False
         try:
@@ -125,10 +211,25 @@ class RelayHTTPServer:
             return False
 
         headers: dict[str, str] = {}
-        for _ in range(_MAX_HEADERS):
+        header_count = 0
+        while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_count += 1
+            if header_count > _MAX_HEADERS:
+                # Closing without reading the rest of the header block
+                # keeps the stream honest: continuing to serve would
+                # misparse the unread headers as the next request line.
+                await self._write(
+                    writer,
+                    Response(
+                        status=431,
+                        body=b'{"code":431,"message":"too many header fields"}',
+                    ),
+                    False,
+                )
+                return False
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
 
@@ -147,37 +248,41 @@ class RelayHTTPServer:
             )
             return not wants_close
 
-        parsed = urllib.parse.urlsplit(target)
-        params = {
-            key: values[-1]
-            for key, values in urllib.parse.parse_qs(
-                parsed.query, keep_blank_values=True
-            ).items()
-        }
+        if "?" in target or "#" in target:
+            parsed = urllib.parse.urlsplit(target)
+            path = parsed.path
+            params = {
+                key: values[-1]
+                for key, values in urllib.parse.parse_qs(
+                    parsed.query, keep_blank_values=True
+                ).items()
+            }
+        else:
+            path = target
+            params = {}
         try:
-            response = self.service.handle(parsed.path, params)
+            response = self.service.handle(path, params)
         except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
             response = Response(
                 status=500,
                 body=b'{"code":500,"message":"internal server error"}',
             )
-        if method == "HEAD":
-            response = Response(
-                status=response.status,
-                body=b"",
-                content_type=response.content_type,
-                headers=response.headers,
-            )
-        await self._write(writer, response, not wants_close)
-        return not wants_close
+        # HEAD: same head the GET would carry — including its
+        # content-length (RFC 9110 §9.3.2) — just no body bytes.
+        keep_alive = not wants_close and not self._draining
+        await self._write(
+            writer, response, keep_alive, head_only=method == "HEAD"
+        )
+        return keep_alive
 
     async def _write(
         self,
         writer: asyncio.StreamWriter,
         response: Response,
         keep_alive: bool,
+        head_only: bool = False,
     ) -> None:
-        writer.write(_render(response, keep_alive))
+        writer.write(_render(response, keep_alive, head_only))
         await writer.drain()
 
 
@@ -187,13 +292,26 @@ async def run_server(
     port: int = 8547,
     *,
     ready_message=None,
+    drain_seconds: float = 5.0,
 ) -> None:
-    """Build the service, bind, announce readiness, serve until cancelled."""
+    """Build the service, bind, announce readiness, serve until stopped.
+
+    SIGTERM triggers the same graceful drain the worker pool performs:
+    in-flight requests complete (marked ``connection: close``), idle
+    keep-alive connections are dropped, then the process exits cleanly.
+    """
     server = RelayHTTPServer(QueryService(dataset), host=host, port=port)
     await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+    except (NotImplementedError, RuntimeError):
+        pass  # non-main thread or platform without signal support
     if ready_message is not None:
         ready_message(server)
     try:
-        await server.serve_forever()
+        await stop.wait()
     finally:
+        await server.drain(drain_seconds)
         await server.close()

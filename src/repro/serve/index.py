@@ -93,8 +93,12 @@ class SlotIndex:
         """Rows for index positions [lo, hi), in index order."""
         return tuple(self.rows[i] for i in self._order[lo:hi])
 
-    def page(self, cursor: "Cursor | None", limit: int) -> Page:
-        """One page from ``cursor`` (or the top), ``limit`` rows long.
+    def ordered_rows(self) -> tuple:
+        """Every row, in index (slot-descending) order."""
+        return self.rows_at(0, len(self.rows))
+
+    def page_span(self, cursor: "Cursor | None", limit: int) -> tuple[int, int, str | None]:
+        """The ``(start, end, next_cursor)`` index span of one page.
 
         The returned ``next_cursor`` resumes exactly one row past this
         page: ``<slot>_<skip>`` where ``skip`` counts rows already served
@@ -102,7 +106,7 @@ class SlotIndex:
         form) is equivalent to ``<slot>_0``.
         """
         if len(self.rows) == 0:
-            return Page(rows=(), next_cursor=None, total=0)
+            return 0, 0, None
         if cursor is None:
             start = 0
         else:
@@ -118,6 +122,11 @@ class SlotIndex:
             slot_lo, _ = self.slot_span(next_slot)
             skip = end - slot_lo
             next_cursor = f"{next_slot}_{skip}" if skip else str(next_slot)
+        return start, end, next_cursor
+
+    def page(self, cursor: "Cursor | None", limit: int) -> Page:
+        """One page from ``cursor`` (or the top), ``limit`` rows long."""
+        start, end, next_cursor = self.page_span(cursor, limit)
         return Page(
             rows=self.rows_at(start, end),
             next_cursor=next_cursor,
@@ -173,6 +182,38 @@ class RelayIndexes:
             self.submissions_by_hash.setdefault(record.block_hash, []).append(
                 record
             )
+        # Wire-encoding caches (offsets+blob columns in index order);
+        # attached by ``attach_wire`` once the block join exists.
+        self.payloads_wire = None
+        self.submissions_wire = None
+        self.registrations_wire = None
+
+    def attach_wire(
+        self, join: "BlockJoin", memo: dict[int, bytes] | None = None
+    ) -> None:
+        """Pre-render every row once into the three wire columns.
+
+        Built before serving (and, in multi-worker mode, before the
+        fork, so the blobs are shared copy-on-write).  ``memo`` shares
+        fragments between the per-relay and combined views.
+        """
+        from . import schema
+
+        self.payloads_wire = schema.wire_column(
+            self.payloads.ordered_rows(),
+            lambda row: schema.encode_delivered(row, join),
+            memo,
+        )
+        self.submissions_wire = schema.wire_column(
+            self.submissions.ordered_rows(),
+            lambda row: schema.encode_submission(row, join),
+            memo,
+        )
+        self.registrations_wire = schema.wire_column(
+            self.registrations.ordered_rows(),
+            schema.encode_registration,
+            memo,
+        )
 
 
 class BlockJoin:
@@ -243,13 +284,20 @@ class DatasetIndex:
         self.join = join
 
     @classmethod
-    def build(cls, relay_stores: Mapping[str, object], table=None) -> "DatasetIndex":
+    def build(
+        cls,
+        relay_stores: Mapping[str, object],
+        table=None,
+        *,
+        wire: bool = True,
+    ) -> "DatasetIndex":
         """Index ``{name: RelayDataStore}`` plus an optional block table.
 
         The combined view (:data:`ALL_RELAYS`) concatenates stores in
         relay-name order, so within one slot rows order by relay name
         first, then store insertion — deterministic regardless of dict
-        ordering.
+        ordering.  ``wire`` pre-renders every row into the wire-encoding
+        caches (disable only to exercise the uncached reference path).
         """
         relays: dict[str, RelayIndexes] = {}
         all_payloads: list[DeliveredPayload] = []
@@ -267,10 +315,15 @@ class DatasetIndex:
         relays[ALL_RELAYS] = RelayIndexes(
             all_payloads, all_submissions, all_registrations
         )
-        return cls(relays=relays, join=BlockJoin(table))
+        join = BlockJoin(table)
+        if wire:
+            memo: dict[int, bytes] = {}
+            for indexes in relays.values():
+                indexes.attach_wire(join, memo)
+        return cls(relays=relays, join=join)
 
     @classmethod
-    def from_dataset(cls, dataset) -> "DatasetIndex":
+    def from_dataset(cls, dataset, *, wire: bool = True) -> "DatasetIndex":
         """Index a :class:`~repro.datasets.collector.StudyDataset`.
 
         Duck-typed: ``dataset`` needs ``.relays`` (name -> relay holding
@@ -282,7 +335,7 @@ class DatasetIndex:
         }
         blocks = getattr(dataset, "blocks", None)
         table = dataset.table if blocks is not None and len(blocks) else None
-        return cls.build(stores, table)
+        return cls.build(stores, table, wire=wire)
 
     def relay_names(self) -> list[str]:
         return sorted(name for name in self.relays if name != ALL_RELAYS)

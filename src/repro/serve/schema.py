@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import datetime
 import json
+from typing import Callable, Iterable
+
+import numpy as np
 
 from ..core.relay_api import (
     BuilderSubmissionRecord,
@@ -153,3 +156,69 @@ def decode_series(payload: dict):
 def dump_json(payload) -> bytes:
     """Canonical response encoding: compact separators, insertion order."""
     return json.dumps(payload, separators=(",", ":")).encode()
+
+
+class WireColumn:
+    """Pre-rendered JSON row fragments as one offsets+blob column.
+
+    Rows are encoded once, in index order, each fragment followed by the
+    ``,`` separator ``dump_json`` would emit between array elements.
+    Because a page is a contiguous ``[lo, hi)`` run of index positions,
+    its body is a *single* blob slice bracketed with ``[``/``]`` — no
+    per-request dict building, ``json.dumps`` or even a join.  The bytes
+    are identical to ``dump_json([encode(row) for row in page])`` by
+    construction: ``json.dumps`` with compact separators encodes a list
+    as exactly the comma-join of its elements' standalone encodings.
+    """
+
+    __slots__ = ("_blob", "_offsets")
+
+    def __init__(self, fragments: Iterable[bytes]) -> None:
+        fragments = list(fragments)
+        self._blob = b"".join(fragment + b"," for fragment in fragments)
+        offsets = np.zeros(len(fragments) + 1, dtype=np.int64)
+        if fragments:
+            np.cumsum(
+                [len(fragment) + 1 for fragment in fragments],
+                out=offsets[1:],
+            )
+        self._offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def page_bytes(self, lo: int, hi: int) -> bytes:
+        """The JSON array body for index positions ``[lo, hi)``."""
+        if hi <= lo:
+            return b"[]"
+        # offsets[hi] - 1 drops the trailing separator of the last row.
+        return b"[%s]" % self._blob[self._offsets[lo] : self._offsets[hi] - 1]
+
+    def row_bytes(self, position: int) -> bytes:
+        return self._blob[self._offsets[position] : self._offsets[position + 1] - 1]
+
+
+def wire_column(
+    rows: Iterable[object],
+    encode: Callable[[object], dict],
+    memo: dict[int, bytes] | None = None,
+) -> WireColumn:
+    """Build a :class:`WireColumn` by encoding ``rows`` once each.
+
+    ``memo`` (keyed by row object identity) lets the per-relay and
+    combined all-relays indexes share fragments for the same underlying
+    row instead of encoding it twice; all rows stay referenced by the
+    stores for the life of the memo, so identity keys cannot be reused.
+    """
+    fragments = []
+    if memo is None:
+        fragments = [dump_json(encode(row)) for row in rows]
+    else:
+        for row in rows:
+            key = id(row)
+            fragment = memo.get(key)
+            if fragment is None:
+                fragment = dump_json(encode(row))
+                memo[key] = fragment
+            fragments.append(fragment)
+    return WireColumn(fragments)

@@ -39,6 +39,8 @@ mutually exclusive, as on the real relays.
 from __future__ import annotations
 
 import json
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .index import ALL_RELAYS, Cursor, DatasetIndex, RelayIndexes
@@ -46,6 +48,12 @@ from . import schema
 
 DEFAULT_LIMIT = 200
 MAX_LIMIT = 500
+
+#: Finished 200 responses kept hot, LRU-evicted.  Sized for the working
+#: set a load generator actually revisits (first pages, slot queries,
+#: ``/analysis/*``, metadata) while bounding memory: even 500-row pages
+#: stay under ~25 MB at this capacity.
+RESPONSE_CACHE_SIZE = 128
 
 _JSON = "application/json"
 
@@ -113,12 +121,16 @@ class QueryService:
         *,
         default_limit: int = DEFAULT_LIMIT,
         max_limit: int = MAX_LIMIT,
+        wire_cache: bool = True,
+        response_cache_size: int = RESPONSE_CACHE_SIZE,
     ) -> None:
         self.dataset = dataset
         self.default_limit = default_limit
         self.max_limit = max_limit
-        self.index = DatasetIndex.from_dataset(dataset)
+        self.index = DatasetIndex.from_dataset(dataset, wire=wire_cache)
         self._analysis_cache: dict[str, object] = {}
+        self._response_cache: OrderedDict[tuple, Response] = OrderedDict()
+        self._response_cache_size = response_cache_size
         self._routes = {
             "/relay/v1/data/bidtraces/proposer_payload_delivered": (
                 self._payload_delivered
@@ -138,6 +150,24 @@ class QueryService:
     # -- dispatch -------------------------------------------------------
 
     def handle(self, path: str, params: dict[str, str]) -> Response:
+        # Hot-response LRU: everything but cursor pages (whose key space
+        # is unbounded and whose hit rate is ~0 — each cursor is served
+        # once per walk) is cacheable; only 200s are stored.
+        cache_key = None
+        if self._response_cache_size and "cursor" not in params:
+            cache_key = (path, tuple(sorted(params.items())))
+            cached = self._response_cache.get(cache_key)
+            if cached is not None:
+                self._response_cache.move_to_end(cache_key)
+                return cached
+        response = self._dispatch(path, params)
+        if cache_key is not None and response.status == 200:
+            self._response_cache[cache_key] = response
+            if len(self._response_cache) > self._response_cache_size:
+                self._response_cache.popitem(last=False)
+        return response
+
+    def _dispatch(self, path: str, params: dict[str, str]) -> Response:
         handler = self._routes.get(path.rstrip("/") or "/")
         if handler is None:
             return _error_response(404, f"no such endpoint: {path}")
@@ -166,7 +196,8 @@ class QueryService:
             raise ServeError(400, f"maximum limit is {self.max_limit}")
         return limit
 
-    def _paged(self, slot_index, params: dict[str, str], encode) -> Response:
+    def _paged(self, slot_index, wire, params: dict[str, str], encode) -> Response:
+        """One page, from the wire cache when present (bit-identical)."""
         slot = _parse_int(params, "slot")
         cursor_text = params.get("cursor")
         if slot is not None and cursor_text is not None:
@@ -174,19 +205,26 @@ class QueryService:
         limit = self._limit(params)
         if slot is not None:
             lo, hi = slot_index.slot_span(slot)
-            rows = slot_index.rows_at(lo, min(hi, lo + limit))
-            return _ok([encode(row) for row in rows])
+            hi = min(hi, lo + limit)
+            if wire is not None:
+                return Response(status=200, body=wire.page_bytes(lo, hi))
+            return _ok([encode(row) for row in slot_index.rows_at(lo, hi)])
         cursor = None
         if cursor_text is not None:
             try:
                 cursor = Cursor.parse(cursor_text)
             except ValueError:
                 raise ServeError(400, "invalid cursor argument") from None
-        page = slot_index.page(cursor, limit)
-        headers = {"x-total-count": str(page.total)}
-        if page.next_cursor is not None:
-            headers["x-next-cursor"] = page.next_cursor
-        return _ok([encode(row) for row in page.rows], headers)
+        start, end, next_cursor = slot_index.page_span(cursor, limit)
+        headers = {"x-total-count": str(len(slot_index))}
+        if next_cursor is not None:
+            headers["x-next-cursor"] = next_cursor
+        if wire is not None:
+            return Response(
+                status=200, body=wire.page_bytes(start, end), headers=headers
+            )
+        rows = slot_index.rows_at(start, end)
+        return _ok([encode(row) for row in rows], headers)
 
     # -- relay data endpoints ------------------------------------------
 
@@ -200,6 +238,7 @@ class QueryService:
             )
         return self._paged(
             indexes.payloads,
+            indexes.payloads_wire,
             params,
             lambda row: schema.encode_delivered(row, self.index.join),
         )
@@ -214,6 +253,7 @@ class QueryService:
             )
         return self._paged(
             indexes.submissions,
+            indexes.submissions_wire,
             params,
             lambda row: schema.encode_submission(row, self.index.join),
         )
@@ -228,7 +268,10 @@ class QueryService:
                 raise ServeError(400, "no registration found for validator")
             return _ok(schema.encode_registration(registration))
         return self._paged(
-            indexes.registrations, params, schema.encode_registration
+            indexes.registrations,
+            indexes.registrations_wire,
+            params,
+            schema.encode_registration,
         )
 
     # -- analysis endpoints --------------------------------------------
@@ -301,6 +344,10 @@ class QueryService:
         return _ok(
             {
                 "status": "ok",
+                # The serving process — in multi-worker mode this is the
+                # worker the kernel routed the connection to, which is
+                # how the pool tests observe accept load-balancing.
+                "pid": os.getpid(),
                 "relays": len(self.index.relay_names()),
                 "payloads": len(combined.payloads),
                 "submissions": len(combined.submissions),

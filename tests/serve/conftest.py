@@ -269,8 +269,16 @@ def golden_dataset():
     return build_golden_dataset()
 
 
-@pytest.fixture(scope="module")
-def golden_service(golden_dataset):
+@pytest.fixture(scope="module", params=["wire-cache", "uncached"])
+def golden_service(golden_dataset, request):
+    """The service under both encoding paths.
+
+    Every conformance test runs twice: against the pre-rendered
+    wire-encoding caches (the production path) and against the live
+    per-request encoders — pinning that both produce identical bytes.
+    """
     from repro.serve import QueryService
 
-    return QueryService(golden_dataset)
+    return QueryService(
+        golden_dataset, wire_cache=request.param == "wire-cache"
+    )

@@ -1,0 +1,238 @@
+"""The wire-encoding cache byte-identity contract.
+
+The offsets+blob columns (:class:`repro.serve.schema.WireColumn`) must
+make every response *faster*, never *different*: for any request, the
+cached path's bytes equal what the live per-request encoders produce —
+on the hand-built golden dataset, on both real dataset backends
+(columnar and object), and in a forked child sharing the parent's blobs
+copy-on-write (the multi-worker serving configuration).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.serve import QueryService
+from repro.serve.schema import WireColumn, dump_json, wire_column
+
+from .conftest import build_golden_dataset
+
+PAYLOADS = "/relay/v1/data/bidtraces/proposer_payload_delivered"
+SUBMISSIONS = "/relay/v1/data/bidtraces/builder_blocks_received"
+REGISTRATIONS = "/relay/v1/data/validators/registration"
+
+#: A request sweep touching every paginated code path: full pages,
+#: limits, relay filters, slot queries, hash lookups, pubkey lookups.
+SWEEP = [
+    (PAYLOADS, {}),
+    (PAYLOADS, {"limit": "1"}),
+    (PAYLOADS, {"limit": "2"}),
+    (PAYLOADS, {"relay": "flashbots"}),
+    (PAYLOADS, {"slot": "8001"}),
+    (PAYLOADS, {"slot": "8001", "limit": "1"}),
+    (PAYLOADS, {"slot": "12345"}),
+    (PAYLOADS, {"block_hash": "0x" + "bb" * 32}),
+    (SUBMISSIONS, {}),
+    (SUBMISSIONS, {"relay": "flashbots", "slot": "8000"}),
+    (SUBMISSIONS, {"limit": "3"}),
+    (REGISTRATIONS, {}),
+    (REGISTRATIONS, {"limit": "1"}),
+    (REGISTRATIONS, {"pubkey": "0x" + "e1" * 48, "relay": "flashbots"}),
+]
+
+
+def _cursor_walk(service: QueryService, path: str, limit: int):
+    """Every page of a cursor walk: (params, response) pairs."""
+    pages = []
+    params: dict[str, str] = {"limit": str(limit)}
+    while True:
+        response = service.handle(path, dict(params))
+        pages.append((dict(params), response))
+        cursor = response.headers.get("x-next-cursor")
+        if cursor is None:
+            return pages
+        params["cursor"] = cursor
+
+
+def _sweep_bodies(service: QueryService) -> list[tuple]:
+    results = []
+    for path, params in SWEEP:
+        response = service.handle(path, dict(params))
+        results.append((path, params, response.status, response.body,
+                        dict(response.headers)))
+    for limit in (1, 2):
+        for params, response in _cursor_walk(service, PAYLOADS, limit):
+            results.append((PAYLOADS, params, response.status, response.body,
+                            dict(response.headers)))
+    return results
+
+
+def test_cached_bytes_equal_uncached_on_golden_dataset():
+    dataset = build_golden_dataset()
+    cached = QueryService(dataset, wire_cache=True)
+    uncached = QueryService(dataset, wire_cache=False)
+    assert _sweep_bodies(cached) == _sweep_bodies(uncached)
+
+
+def test_wire_column_matches_dump_json():
+    """`page_bytes` is literally `dump_json` of the encoded row list."""
+    rows = [{"a": str(i), "b": "0x" + "ab" * 4} for i in range(7)]
+    column = wire_column(rows, lambda row: row)
+    assert len(column) == 7
+    for lo in range(8):
+        for hi in range(lo, 8):
+            assert column.page_bytes(lo, hi) == dump_json(rows[lo:hi])
+    for i, row in enumerate(rows):
+        assert column.row_bytes(i) == dump_json(row)
+
+
+def test_empty_wire_column():
+    column = WireColumn([])
+    assert len(column) == 0
+    assert column.page_bytes(0, 0) == b"[]"
+
+
+def test_wire_column_memo_shares_fragments():
+    row = {"x": "1"}
+    memo: dict[int, bytes] = {}
+    first = wire_column([row, row], lambda r: r, memo)
+    second = wire_column([row], lambda r: r, memo)
+    assert len(memo) == 1
+    assert first.page_bytes(0, 2) == b'[{"x":"1"},{"x":"1"}]'
+    assert second.page_bytes(0, 1) == b'[{"x":"1"}]'
+
+
+@pytest.fixture(scope="module")
+def backend_datasets():
+    from repro.datasets.collector import collect_study_dataset
+    from repro.simulation.config import small_test_config
+    from repro.simulation.world import build_world
+
+    config = small_test_config(num_days=4, blocks_per_day=6)
+    return {
+        "columnar": collect_study_dataset(build_world(config)),
+        "object": collect_study_dataset(
+            build_world(config.with_overrides(dataset_backend="object"))
+        ),
+    }
+
+
+@pytest.mark.parametrize("backend", ["columnar", "object"])
+def test_cached_bytes_equal_uncached_on_real_backends(backend_datasets, backend):
+    dataset = backend_datasets[backend]
+    cached = QueryService(dataset, wire_cache=True)
+    uncached = QueryService(dataset, wire_cache=False)
+    for path in (PAYLOADS, SUBMISSIONS, REGISTRATIONS):
+        for params in ({}, {"limit": "500"}, {"limit": "7"}):
+            a = cached.handle(path, dict(params))
+            b = uncached.handle(path, dict(params))
+            assert a.status == b.status == 200
+            assert a.body == b.body
+            assert a.headers == b.headers
+        # Walk the full cursor chain on both paths.
+        assert [
+            (response.body, response.headers.get("x-next-cursor"))
+            for _, response in _cursor_walk(cached, path, 7)
+        ] == [
+            (response.body, response.headers.get("x-next-cursor"))
+            for _, response in _cursor_walk(uncached, path, 7)
+        ]
+
+
+def test_backends_serve_identical_page_bytes(backend_datasets):
+    columnar = QueryService(backend_datasets["columnar"], wire_cache=True)
+    object_backed = QueryService(backend_datasets["object"], wire_cache=True)
+    for path in (PAYLOADS, SUBMISSIONS, REGISTRATIONS):
+        a = columnar.handle(path, {"limit": "500"})
+        b = object_backed.handle(path, {"limit": "500"})
+        assert a.status == b.status == 200
+        assert a.body == b.body
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+def test_cached_bytes_survive_fork():
+    """A forked worker sharing the parent's blobs serves the same bytes.
+
+    This is exactly the multi-worker serving configuration: the service
+    (indexes + wire columns) is built pre-fork and the child reads the
+    copy-on-write pages.
+    """
+    service = QueryService(build_golden_dataset(), wire_cache=True)
+
+    def digest() -> bytes:
+        state = hashlib.sha256()
+        for path, params, status, body, headers in _sweep_bodies(service):
+            state.update(repr((path, sorted(params.items()), status)).encode())
+            state.update(body)
+            state.update(repr(sorted(headers.items())).encode())
+        return state.hexdigest().encode()
+
+    parent_digest = digest()
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        # Child: recompute over the CoW-shared service and report back.
+        try:
+            os.close(read_fd)
+            os.write(write_fd, digest())
+            os.close(write_fd)
+        finally:
+            os._exit(0)
+    os.close(write_fd)
+    chunks = []
+    while True:
+        chunk = os.read(read_fd, 4096)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    os.close(read_fd)
+    _, status = os.waitpid(pid, 0)
+    assert os.waitstatus_to_exitcode(status) == 0
+    assert b"".join(chunks) == parent_digest
+
+
+def test_response_lru_caches_hot_responses():
+    service = QueryService(build_golden_dataset())
+    first = service.handle("/relays", {})
+    second = service.handle("/relays", {})
+    assert first is second  # served from the LRU, not re-encoded
+    # Cursor pages are never LRU'd (unbounded key space)...
+    page = service.handle(PAYLOADS, {"limit": "2"})
+    cursor = page.headers["x-next-cursor"]
+    follow = {"limit": "2", "cursor": cursor}
+    assert service.handle(PAYLOADS, dict(follow)) is not service.handle(
+        PAYLOADS, dict(follow)
+    )
+    # ...and errors are not cached.
+    bad = service.handle(PAYLOADS, {"limit": "0"})
+    assert bad.status == 400
+    assert service.handle(PAYLOADS, {"limit": "0"}) is not bad
+
+
+def test_response_lru_evicts_at_capacity():
+    service = QueryService(build_golden_dataset(), response_cache_size=2)
+    first = service.handle(PAYLOADS, {"limit": "1"})
+    service.handle(PAYLOADS, {"limit": "2"})
+    service.handle(PAYLOADS, {"limit": "3"})  # evicts limit=1
+    refreshed = service.handle(PAYLOADS, {"limit": "1"})
+    assert refreshed is not first
+    assert refreshed.body == first.body
+
+
+def test_response_lru_disabled():
+    service = QueryService(build_golden_dataset(), response_cache_size=0)
+    a = service.handle("/relays", {})
+    b = service.handle("/relays", {})
+    assert a is not b
+    assert a.body == b.body
+
+
+def test_healthz_reports_serving_pid():
+    service = QueryService(build_golden_dataset())
+    body = json.loads(service.handle("/healthz", {}).body)
+    assert body["status"] == "ok"
+    assert body["pid"] == os.getpid()
