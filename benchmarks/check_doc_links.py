@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Check markdown links in the repo docs — stdlib only, no network.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for markdown
+links `[text](target)` and verifies:
+
+* relative file targets exist (anchored at the linking file's directory,
+  with a repo-root fallback for README-style links);
+* intra-document anchors (`#heading` or `file.md#heading`) resolve to a
+  heading in the target file, using GitHub's slugification;
+* external (http/https/mailto) links are only syntax-checked, never
+  fetched.
+
+Exit status 1 with one line per broken link; 0 when clean.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
+
+# [text](target) — skips images' leading `!` capture-irrelevantly and
+# ignores fenced code blocks via the scrub pass below.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces→dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        base = github_slug(line.lstrip("#"))
+        seen = counts.get(base, 0)
+        counts[base] = seen + 1
+        slugs.add(base if seen == 0 else f"{base}-{seen}")
+    return slugs
+
+
+def doc_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return [path for path in files if path.is_file()]
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def resolve_target(source: Path, target: str) -> Path | None:
+    """The existing file a relative link points at, or None."""
+    candidates = [source.parent / target, REPO_ROOT / target]
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    for source in doc_files():
+        rel_source = source.relative_to(REPO_ROOT)
+        for lineno, raw in iter_links(source):
+            if raw.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, anchor = raw.partition("#")
+            if not target:  # same-document anchor
+                if anchor and github_slug(anchor) not in heading_slugs(source):
+                    problems.append(
+                        f"{rel_source}:{lineno}: broken anchor #{anchor}"
+                    )
+                continue
+            resolved = resolve_target(source, target)
+            if resolved is None:
+                problems.append(
+                    f"{rel_source}:{lineno}: missing file {target}"
+                )
+                continue
+            if anchor and resolved.suffix == ".md":
+                if github_slug(anchor) not in heading_slugs(resolved):
+                    problems.append(
+                        f"{rel_source}:{lineno}: broken anchor "
+                        f"{target}#{anchor}"
+                    )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(problem)
+    checked = len(doc_files())
+    if problems:
+        print(f"doc link check: {len(problems)} broken link(s) "
+              f"across {checked} file(s)")
+        return 1
+    print(f"doc link check: OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Each module reproduces one slice of the paper over a collected
 * ``mev`` — MEV counts and value shares (Figs. 15, 16, 20-22)
 * ``censorship`` — compliant-relay share, sanctioned blocks (Figs. 17, 18; Table 4)
 * ``rewards`` — user payment decomposition (Fig. 3)
+* ``regimes`` — MEV-Boost vs enshrined-PBS vs local-building comparison
 """
 
 from .adoption import daily_pbs_share
@@ -49,6 +50,12 @@ from .relays import (
     daily_relay_shares,
     relay_trust_table,
 )
+from .regimes import (
+    RegimeMetrics,
+    compare_regimes,
+    regime_metrics,
+    render_regime_comparison,
+)
 from .rewards import daily_user_payment_shares
 from .timeseries import DailySeries, group_by_date
 
@@ -79,6 +86,10 @@ __all__ = [
     "daily_relay_shares",
     "relay_trust_table",
     "daily_user_payment_shares",
+    "RegimeMetrics",
+    "compare_regimes",
+    "regime_metrics",
+    "render_regime_comparison",
     "DailySeries",
     "group_by_date",
 ]

@@ -7,6 +7,16 @@ lookahead, per-block beacon rewards, and the beacon chain record of
 proposed/missed slots.
 """
 
+from .builders import (
+    BuilderRecord,
+    BuilderRegistry,
+    DepositEvent,
+    EpbsDataset,
+    EpbsLedger,
+    EpbsSlotRecord,
+    SlashingEvent,
+    builder_withdrawal_credentials,
+)
 from .chain import BeaconBlockRecord, BeaconChain
 from .rewards import RewardLedger
 from .schedule import ProposerSchedule
@@ -15,8 +25,16 @@ from .validator import Validator, ValidatorRegistry
 __all__ = [
     "BeaconBlockRecord",
     "BeaconChain",
+    "BuilderRecord",
+    "BuilderRegistry",
+    "DepositEvent",
+    "EpbsDataset",
+    "EpbsLedger",
+    "EpbsSlotRecord",
     "RewardLedger",
     "ProposerSchedule",
+    "SlashingEvent",
     "Validator",
     "ValidatorRegistry",
+    "builder_withdrawal_credentials",
 ]

@@ -25,6 +25,9 @@ class BeaconBlockRecord:
     # None for missed slots (no block landed this slot).
     execution_block_hash: Hash | None
     used_mev_boost: bool = False
+    # ePBS regime: the winning builder withheld the committed payload, so
+    # the slot has a consensus record but no execution block.
+    payload_withheld: bool = False
 
     @property
     def missed(self) -> bool:

@@ -56,19 +56,32 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
         "--validators", type=int, default=300, help="validator count"
     )
     parser.add_argument(
+        "--regime", choices=("mev_boost", "epbs", "local"),
+        default=None, dest="regime",
+        help="block-production regime: out-of-protocol MEV-Boost relays "
+             "(default), enshrined PBS with staked builders, or local "
+             "building only",
+    )
+    parser.add_argument(
         "--epbs", action="store_true",
-        help="run the enshrined-PBS counterfactual instead of relays",
+        help="legacy alias for --regime epbs",
     )
 
 
-def _build_dataset(args: argparse.Namespace):
-    config = SimulationConfig(
+def _world_config(args: argparse.Namespace) -> SimulationConfig:
+    regime = args.regime or ("epbs" if args.epbs else "mev_boost")
+    return SimulationConfig(
         seed=args.seed,
         num_days=args.days,
         blocks_per_day=args.blocks_per_day,
         num_validators=args.validators,
-        use_enshrined_pbs=args.epbs,
+        regime=regime,
+        use_enshrined_pbs=(regime == "epbs"),
     )
+
+
+def _build_dataset(args: argparse.Namespace):
+    config = _world_config(args)
     print(
         f"simulating {config.num_days} days x {config.blocks_per_day} "
         f"blocks/day (seed {config.seed})...",
@@ -181,6 +194,17 @@ _REPORT_RUNNERS: dict[str, Callable[[object], None]] = {
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.regime_comparison:
+        from .analysis.regimes import compare_regimes, render_regime_comparison
+
+        base = _world_config(args)
+        print(
+            f"running {base.num_days} days x {base.blocks_per_day} "
+            f"blocks/day (seed {base.seed}) under all three regimes...",
+            file=sys.stderr,
+        )
+        print(render_regime_comparison(compare_regimes(base)))
+        return 0
     wanted = args.only.split(",") if args.only else list(REPORTS)
     unknown = [name for name in wanted if name not in _REPORT_RUNNERS]
     if unknown:
@@ -361,6 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"comma-separated report names (default: {','.join(REPORTS)})",
     )
+    report.add_argument(
+        "--regime-comparison",
+        action="store_true",
+        dest="regime_comparison",
+        help="instead of paper figures, run the same seeded world under "
+             "mev_boost, epbs and local and print the comparison table",
+    )
     report.set_defaults(handler=cmd_report)
 
     conformance = subparsers.add_parser(
@@ -370,7 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument(
         "--scenarios",
         default=None,
-        help="YAML scenario file (default: the built-in six-fault matrix)",
+        help="YAML scenario file (default: the built-in nine-scenario "
+             "matrix, incl. the three ePBS faults)",
     )
     conformance.add_argument(
         "--skip-replay",

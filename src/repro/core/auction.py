@@ -30,16 +30,27 @@ MODE_FALLBACK = "pbs-fallback"  # bid taken, block rejected, built locally
 
 @dataclass
 class SlotOutcome:
-    """Everything that happened in one slot's block production."""
+    """Everything that happened in one slot's block production.
+
+    ``block``/``result``/``speculative_ctx`` are None for ePBS slots whose
+    execution payload never became canonical (withheld or rejected by the
+    payload-timeliness committee).  ``bid_wei`` is the committed phase-1
+    bid under ePBS, and ``settled_shortfall_wei`` records any escrow
+    settlement enforcing that commitment — settlement lives here, on the
+    outcome, never mutated back into the builder's submission object.
+    """
 
     slot: int
     mode: str
-    block: Block
-    result: BlockExecutionResult
+    block: Block | None
+    result: BlockExecutionResult | None
     proposer: Validator
     winning_submission: BuilderSubmission | None
     delivering_relays: tuple[str, ...]
-    speculative_ctx: ExecutionContext
+    speculative_ctx: ExecutionContext | None
+    bid_wei: int = 0
+    settled_shortfall_wei: int = 0
+    payload_withheld: bool = False
 
     @property
     def used_pbs(self) -> bool:

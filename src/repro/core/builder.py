@@ -195,6 +195,14 @@ class BlockBuilder:
         # crash-mid-auction fault): build() returns None before touching
         # the slot's shared RNG stream.
         self.crash_days: frozenset[int] = frozenset()
+        # ePBS fault hooks.  On a withhold day the builder bids (high, to
+        # win) and then never reveals the payload; on a renege day it
+        # commits a bid far above what the payload pays.  Both are slots
+        # the enshrined protocol settles from collateral and slashes.
+        self.withhold_days: frozenset[int] = frozenset()
+        self.withhold_claim_wei: Wei = 0
+        self.renege_days: frozenset[int] = frozenset()
+        self.renege_claim_wei: Wei = 0
         self.scripted_mispromise: dict[int, tuple[Wei, Wei]] = {}
         # Set when a scripted mispromise was consumed this slot; the world
         # re-arms it if the bid did not win (the incident did happen).
@@ -377,6 +385,12 @@ class BlockBuilder:
             claimed = payment
             if self.overclaim_rate > 0 and ctx.rng.random() < self.overclaim_rate:
                 claimed = int(payment * self.overclaim_factor)
+        if ctx.day in self.withhold_days and self.withhold_claim_wei:
+            # Bid high enough to win the slot whose payload gets withheld.
+            claimed = max(claimed, self.withhold_claim_wei)
+        if ctx.day in self.renege_days and self.renege_claim_wei:
+            # Commit far above what the payload actually pays.
+            claimed = max(claimed, self.renege_claim_wei)
 
         timestamp = ctx.timestamp
         if ctx.day in self.timestamp_bug_days:

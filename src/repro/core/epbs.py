@@ -1,45 +1,113 @@
-"""Enshrined PBS (ePBS): the relay-free design the paper's conclusion
-discusses.
+"""Enshrined PBS (EIP-7732): the two-phase slot with staked builders.
 
 The paper closes on the Ethereum roadmap's plan to integrate PBS natively
-(two-slot proposer/builder separation): the protocol itself escrows builder
-bids, so the *value-delivery* trust assumption disappears — but, as the
-paper stresses, the proposal "is restricted to ensuring that the value is
-delivered but does not address the other aspects" (censorship and MEV
-filtering promises).  This module implements that counterfactual so the
-claim is measurable:
+and stresses that the proposal "is restricted to ensuring that the value
+is delivered but does not address the other aspects" (censorship and MEV
+filtering promises).  This module makes that claim measurable by running
+the real enshrined design, not a thin escrow counterfactual:
 
-* no relays — builder bids are protocol objects every proposer sees;
-* the winning bid's payment is **enforced**: if the block's embedded
-  payment falls short of the committed bid, the protocol settles the
-  difference from the builder's collateral (so delivered == promised by
-  construction);
-* builder-side behaviour (including self-censoring or including sanctioned
-  transactions) is untouched — censorship outcomes persist.
+* **Staked builders.**  Only builders activated through the
+  :class:`~repro.beacon.builders.BuilderRegistry` (deposit with the
+  ``0x03`` withdrawal prefix → churn-limited activation queue) may bid.
+* **Phase 1 — bid commit.**  Each builder signs an execution-payload bid
+  (header + value); the proposer commits to the highest bid.  The
+  commitment is binding: the bid value is owed whether or not the
+  builder follows through.
+* **Phase 2 — payload reveal.**  The committed builder reveals the full
+  payload.  A builder that *withholds* it forfeits the bid from escrow
+  and is slashed; honest observation of the withholding is broadcast as
+  a payload-withheld message (the beacon record carries it).
+* **Payload-timeliness committee (PTC).**  A deterministically sampled
+  validator committee attests whether the reveal was timely.  Only a
+  quorum of timeliness votes makes the execution payload canonical; an
+  equivocating committee can leave the slot *empty* (consensus block,
+  no execution payload) even though the builder revealed honestly.
+* **Commitment enforcement.**  If the revealed payload's embedded
+  payment falls short of the committed bid, the difference is settled
+  from the builder's escrowed collateral — recorded on the
+  :class:`~repro.core.auction.SlotOutcome`, never written back into the
+  builder's submission.  *Gross* reneging (claiming far above what the
+  payload pays) is additionally slashed, ejecting the builder.
+
+Builder-side behaviour (self-censoring, sanctioned inclusion) is
+untouched, so censorship outcomes persist across regimes — exactly the
+comparison ``analysis/regimes.py`` draws.
 """
 
 from __future__ import annotations
 
-from ..beacon.validator import Validator
+import hashlib
+
+from ..beacon.builders import (
+    SLASH_REASON_RENEGING,
+    SLASH_REASON_WITHHELD,
+    BuilderRegistry,
+    EpbsLedger,
+    EpbsSlotRecord,
+)
+from ..beacon.validator import Validator, ValidatorRegistry
 from ..chain.validation import validate_header
 from ..perf.parallel import warm_builder_caches
+from ..types import Wei
 from .auction import MODE_FALLBACK, MODE_LOCAL, SlotAuction, SlotOutcome
 from .builder import BlockBuilder, BuilderSubmission
 from .context import SlotContext
 from .proposer import LocalBlockBuilder
 
 MODE_EPBS = "epbs"
+#: The committed builder withheld the payload: bid forfeited, slot empty.
+MODE_EPBS_WITHHELD = "epbs-withheld"
+#: The PTC failed to reach a timeliness quorum: payload revealed but not
+#: canonical; the proposer still receives the committed bid.
+MODE_EPBS_EMPTY = "epbs-empty"
+
+#: Payload-timeliness committee size (seats per slot).
+PTC_SIZE = 8
+
+#: Reneging beyond these thresholds is slashable; below them a shortfall
+#: is settled silently (optimistic bids overshoot by ~0.2%, which must
+#: never slash).  Values mirror the conformance harness's
+#: gross-overpromise boundary.
+GROSS_RENEGE_RATIO = 1.5
+GROSS_RENEGE_FLOOR_WEI: Wei = 10**16
 
 
 class EnshrinedPBSAuction(SlotAuction):
-    """A per-slot builder auction run by the protocol, without relays."""
+    """The EIP-7732 two-phase slot, run by the protocol without relays.
+
+    ``registry``/``ledger``/``validators`` wire the consensus layer in;
+    each is optional so the auction degrades gracefully in unit tests —
+    without a registry, settlement falls back to the builder's own
+    balance and nothing is slashed; without a validator registry the PTC
+    trivially attests every reveal.
+    """
 
     def __init__(
         self,
         builders: dict[str, BlockBuilder],
         local_builder: LocalBlockBuilder | None = None,
+        *,
+        registry: BuilderRegistry | None = None,
+        ledger: EpbsLedger | None = None,
+        validators: ValidatorRegistry | None = None,
+        seed: int = 0,
+        ptc_size: int = PTC_SIZE,
     ) -> None:
         super().__init__(relays={}, builders=builders, local_builder=local_builder)
+        self.registry = registry
+        self.ledger = ledger
+        self.validators = validators
+        self.seed = seed
+        self.ptc_size = ptc_size
+        # Fault-injection hooks: on these days, this share of the PTC
+        # emits conflicting timeliness votes (both discarded).
+        self.ptc_equivocation_days: frozenset[int] = frozenset()
+        self.ptc_equivocation_rate: float = 0.0
+
+    @property
+    def ptc_quorum(self) -> int:
+        """Votes required for the payload to become canonical (majority)."""
+        return self.ptc_size // 2 + 1
 
     def run(
         self,
@@ -47,7 +115,7 @@ class EnshrinedPBSAuction(SlotAuction):
         proposer: Validator,
         active_builders: list[str],
     ) -> SlotOutcome:
-        """Produce this slot's block through the in-protocol auction.
+        """Produce this slot's block through the enshrined two-phase slot.
 
         Every proposer participates (the scheme is enshrined, not opt-in);
         local building remains only as the no-bids fallback.
@@ -56,6 +124,10 @@ class EnshrinedPBSAuction(SlotAuction):
             builder
             for builder in (self.builders.get(name) for name in active_builders)
             if builder is not None
+            and (
+                self.registry is None
+                or self.registry.is_active(builder.name, ctx.day)
+            )
         ]
         warm_builder_caches(ctx, ordered, proposer)
         submissions: list[BuilderSubmission] = []
@@ -64,19 +136,16 @@ class EnshrinedPBSAuction(SlotAuction):
             if submission is not None:
                 submissions.append(submission)
 
+        # Phase 1: the proposer commits to the highest signed bid.
         best = self._select(submissions)
         if best is None:
-            block, result, fork = self.local_builder.build(ctx, proposer)
-            return SlotOutcome(
-                slot=ctx.slot,
-                mode=MODE_LOCAL,
-                block=block,
-                result=result,
-                proposer=proposer,
-                winning_submission=None,
-                delivering_relays=(),
-                speculative_ctx=fork,
-            )
+            return self._local_outcome(ctx, proposer, MODE_LOCAL)
+        bid_wei = best.claimed_value_wei
+        builder = self.builders[best.builder_name]
+
+        # Phase 2: payload reveal.
+        if ctx.day in builder.withhold_days:
+            return self._withheld_outcome(ctx, proposer, best, bid_wei)
 
         issues = validate_header(
             best.block.header,
@@ -88,19 +157,28 @@ class EnshrinedPBSAuction(SlotAuction):
         if issues:
             # Protocol-level validation: invalid payloads never win, the
             # slot falls back to a local block.
-            block, result, fork = self.local_builder.build(ctx, proposer)
-            return SlotOutcome(
-                slot=ctx.slot,
-                mode=MODE_FALLBACK,
-                block=block,
-                result=result,
-                proposer=proposer,
-                winning_submission=None,
-                delivering_relays=(),
-                speculative_ctx=fork,
+            return self._local_outcome(ctx, proposer, MODE_FALLBACK)
+
+        # The PTC attests reveal timeliness; without a quorum the payload
+        # does not become canonical.
+        votes_for, equivocations = self._ptc_vote(ctx)
+        if votes_for < self.ptc_quorum:
+            return self._empty_outcome(
+                ctx, proposer, best, bid_wei, votes_for, equivocations
             )
 
-        self._enforce_commitment(best, ctx)
+        settled = self._enforce_commitment(best, ctx)
+        self._record_slot(
+            ctx,
+            best,
+            bid_wei=bid_wei,
+            payment_wei=best.payment_wei,
+            settled_wei=settled,
+            revealed=True,
+            payload_full=True,
+            votes_for=votes_for,
+            equivocations=equivocations,
+        )
         return SlotOutcome(
             slot=ctx.slot,
             mode=MODE_EPBS,
@@ -110,7 +188,175 @@ class EnshrinedPBSAuction(SlotAuction):
             winning_submission=best,
             delivering_relays=(),
             speculative_ctx=best.speculative_ctx,
+            bid_wei=bid_wei,
+            settled_shortfall_wei=settled,
         )
+
+    # -- outcome branches --------------------------------------------------
+
+    def _local_outcome(
+        self, ctx: SlotContext, proposer: Validator, mode: str
+    ) -> SlotOutcome:
+        block, result, fork = self.local_builder.build(ctx, proposer)
+        return SlotOutcome(
+            slot=ctx.slot,
+            mode=mode,
+            block=block,
+            result=result,
+            proposer=proposer,
+            winning_submission=None,
+            delivering_relays=(),
+            speculative_ctx=fork,
+        )
+
+    def _withheld_outcome(
+        self,
+        ctx: SlotContext,
+        proposer: Validator,
+        best: BuilderSubmission,
+        bid_wei: Wei,
+    ) -> SlotOutcome:
+        """The committed builder withheld the payload after winning.
+
+        The honest payload-withheld message reaches consensus (the beacon
+        record carries the flag); the bid is forfeited from escrow to the
+        proposer and the builder is slashed and ejected.  The builder's
+        speculative fork is discarded — no execution block this slot.
+        """
+        state = ctx.canonical_ctx.state
+        if self.registry is not None:
+            settled = self.registry.charge(
+                best.builder_name, proposer.fee_recipient, bid_wei, state=state
+            )
+            self.registry.slash(
+                best.builder_name,
+                bid_wei,
+                ctx.day,
+                SLASH_REASON_WITHHELD,
+                state=state,
+            )
+        else:
+            builder = self.builders[best.builder_name]
+            settled = min(bid_wei, state.balance_of(builder.address))
+            if settled > 0:
+                state.transfer(
+                    builder.address, proposer.fee_recipient, settled
+                )
+        self._record_slot(
+            ctx,
+            best,
+            bid_wei=bid_wei,
+            payment_wei=0,
+            settled_wei=settled,
+            revealed=False,
+            payload_full=False,
+            votes_for=0,
+            equivocations=0,
+        )
+        return SlotOutcome(
+            slot=ctx.slot,
+            mode=MODE_EPBS_WITHHELD,
+            block=None,
+            result=None,
+            proposer=proposer,
+            winning_submission=best,
+            delivering_relays=(),
+            speculative_ctx=None,
+            bid_wei=bid_wei,
+            settled_shortfall_wei=settled,
+            payload_withheld=True,
+        )
+
+    def _empty_outcome(
+        self,
+        ctx: SlotContext,
+        proposer: Validator,
+        best: BuilderSubmission,
+        bid_wei: Wei,
+        votes_for: int,
+        equivocations: int,
+    ) -> SlotOutcome:
+        """The PTC failed to attest timeliness: consensus block, no payload.
+
+        The bid is unconditional — the proposer is paid from escrow even
+        though the payload never became canonical — but the builder is
+        not at fault and is not slashed.
+        """
+        state = ctx.canonical_ctx.state
+        if self.registry is not None:
+            settled = self.registry.charge(
+                best.builder_name, proposer.fee_recipient, bid_wei, state=state
+            )
+        else:
+            builder = self.builders[best.builder_name]
+            settled = min(bid_wei, state.balance_of(builder.address))
+            if settled > 0:
+                state.transfer(
+                    builder.address, proposer.fee_recipient, settled
+                )
+        self._record_slot(
+            ctx,
+            best,
+            bid_wei=bid_wei,
+            payment_wei=0,
+            settled_wei=settled,
+            revealed=True,
+            payload_full=False,
+            votes_for=votes_for,
+            equivocations=equivocations,
+        )
+        return SlotOutcome(
+            slot=ctx.slot,
+            mode=MODE_EPBS_EMPTY,
+            block=None,
+            result=None,
+            proposer=proposer,
+            winning_submission=best,
+            delivering_relays=(),
+            speculative_ctx=None,
+            bid_wei=bid_wei,
+            settled_shortfall_wei=settled,
+        )
+
+    # -- committee ---------------------------------------------------------
+
+    def ptc_committee(self, slot: int) -> list[int]:
+        """The slot's PTC seats, sampled like the proposer schedule.
+
+        Hash-based sampling keeps the committee independent of the RNG
+        streams builders consume, so enabling/disabling PTC faults can
+        never shift unrelated draws.
+        """
+        if self.validators is None:
+            return []
+        count = len(self.validators)
+        seats = []
+        for seat in range(self.ptc_size):
+            payload = f"{self.seed}:ptc:{slot}:{seat}:{count}".encode("utf-8")
+            draw = int.from_bytes(
+                hashlib.sha256(payload).digest()[:8], "big"
+            )
+            seats.append(draw % count)
+        return seats
+
+    def _ptc_vote(self, ctx: SlotContext) -> tuple[int, int]:
+        """(timeliness votes, equivocating seats) for this slot's reveal.
+
+        In-model reveals are always timely, so honest seats vote for the
+        payload; an equivocating seat emits conflicting votes and both
+        are discarded.
+        """
+        if self.validators is None:
+            return self.ptc_size, 0
+        equivocations = 0
+        if ctx.day in self.ptc_equivocation_days:
+            equivocations = min(
+                self.ptc_size,
+                int(round(self.ptc_equivocation_rate * self.ptc_size)),
+            )
+        return self.ptc_size - equivocations, equivocations
+
+    # -- selection and settlement ------------------------------------------
 
     @staticmethod
     def _select(
@@ -126,24 +372,70 @@ class EnshrinedPBSAuction(SlotAuction):
 
     def _enforce_commitment(
         self, submission: BuilderSubmission, ctx: SlotContext
-    ) -> None:
-        """Settle any bid shortfall from the builder's collateral.
+    ) -> Wei:
+        """Settle any bid shortfall from the builder's escrowed collateral.
 
         With the commitment enforced in-protocol, the proposer receives
         exactly the committed value — the property that removes Table 4's
-        delivered-vs-promised gap.
+        delivered-vs-promised gap.  Returns the settled amount (recorded
+        on the outcome; the submission object is never mutated).  Gross
+        reneging — a bid far above what the payload actually pays — is
+        additionally slashed.
         """
         shortfall = submission.claimed_value_wei - submission.payment_wei
         if shortfall <= 0:
-            return
-        builder = self.builders[submission.builder_name]
+            return 0
         state = submission.speculative_ctx.state
-        available = state.balance_of(builder.address)
-        settled = min(shortfall, available)
-        if settled > 0:
-            state.transfer(
-                builder.address,
-                submission.proposer.fee_recipient,
-                settled,
+        recipient = submission.proposer.fee_recipient
+        if self.registry is not None:
+            settled = self.registry.charge(
+                submission.builder_name, recipient, shortfall, state=state
             )
-            submission.payment_wei += settled
+            gross_boundary = max(
+                int(submission.payment_wei * GROSS_RENEGE_RATIO),
+                submission.payment_wei + GROSS_RENEGE_FLOOR_WEI,
+            )
+            if submission.claimed_value_wei > gross_boundary:
+                self.registry.slash(
+                    submission.builder_name,
+                    shortfall,
+                    ctx.day,
+                    SLASH_REASON_RENEGING,
+                    state=state,
+                )
+            return settled
+        builder = self.builders[submission.builder_name]
+        settled = min(shortfall, state.balance_of(builder.address))
+        if settled > 0:
+            state.transfer(builder.address, recipient, settled)
+        return settled
+
+    def _record_slot(
+        self,
+        ctx: SlotContext,
+        best: BuilderSubmission,
+        *,
+        bid_wei: Wei,
+        payment_wei: Wei,
+        settled_wei: Wei,
+        revealed: bool,
+        payload_full: bool,
+        votes_for: int,
+        equivocations: int,
+    ) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record_slot(
+            EpbsSlotRecord(
+                slot=ctx.slot,
+                day=ctx.day,
+                builder=best.builder_name,
+                bid_wei=bid_wei,
+                payment_wei=payment_wei,
+                settled_wei=settled_wei,
+                revealed=revealed,
+                payload_full=payload_full,
+                ptc_votes_for=votes_for,
+                ptc_equivocations=equivocations,
+            )
+        )

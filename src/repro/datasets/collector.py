@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..beacon.builders import EpbsDataset
 from ..beacon.chain import BeaconChain
 from ..chain.chain import Chain
 from ..chain.transaction import EthTransfer
@@ -62,6 +63,9 @@ class StudyDataset:
     inventory: DatasetInventory
     # Relay policy metadata for the censorship analyses (Table 3).
     compliant_relays: frozenset[str] = frozenset()
+    # The ePBS protocol record (deposits, slashings, per-slot PTC votes);
+    # None unless the world ran under the ``epbs`` regime.
+    epbs: EpbsDataset | None = None
     # Lazily built caches; never part of equality or pickles.
     _by_number: dict[int, BlockObservation] = field(
         default_factory=dict, repr=False, compare=False
@@ -200,6 +204,11 @@ class StudyDataset:
         )
         for name in sorted(self.compliant_relays):
             feed(f"compliant:{name}")
+        if self.epbs is not None:
+            # Non-ePBS digests are unchanged: the section only exists when
+            # the regime produced protocol records.
+            for line in self.epbs.digest_lines():
+                feed(line)
         return hasher.hexdigest()
 
 
@@ -291,6 +300,8 @@ def merge_study_datasets(datasets: "list[StudyDataset]") -> StudyDataset:
         total_traces += dataset.inventory.traces
         total_arrivals += dataset.inventory.mempool_arrival_times
         compliant = compliant | dataset.compliant_relays
+    epbs_parts = [d.epbs for d in datasets if d.epbs is not None]
+    epbs = EpbsDataset.concat(epbs_parts) if epbs_parts else None
 
     blocks: Sequence[BlockObservation]
     if all(isinstance(d.blocks, LazyBlockList) for d in datasets):
@@ -331,6 +342,7 @@ def merge_study_datasets(datasets: "list[StudyDataset]") -> StudyDataset:
         sanctions=first.sanctions,
         inventory=inventory,
         compliant_relays=compliant,
+        epbs=epbs,
     )
 
 
@@ -497,4 +509,9 @@ def _collect_study_dataset(world, perf) -> StudyDataset:
         sanctions=world.sanctions,
         inventory=inventory,
         compliant_relays=compliant,
+        epbs=(
+            world.epbs_ledger.to_dataset()
+            if getattr(world, "epbs_ledger", None) is not None
+            else None
+        ),
     )

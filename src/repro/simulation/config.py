@@ -59,8 +59,16 @@ class SimulationConfig:
     eden_mispromise_claim_eth: float = -1.0  # auto-scale to world size
     eden_mispromise_paid_eth: float = 0.16
 
-    # Run the enshrined-PBS counterfactual (no relays, protocol-enforced
-    # bids) instead of the historical relay-based scheme.
+    # Block-production regime.  ``"mev_boost"`` is the historical
+    # relay-based scheme the paper measures; ``"epbs"`` runs the full
+    # EIP-7732 enshrined design (staked builders, two-phase slot,
+    # payload-timeliness committee — no relays); ``"local"`` is the
+    # counterfactual where every proposer self-builds.  All three produce
+    # digest-deterministic StudyDatasets through the unchanged collector.
+    regime: str = "mev_boost"
+
+    # Legacy alias for ``regime="epbs"`` (kept for older callers and
+    # stored configs; normalized against ``regime`` in __post_init__).
     use_enshrined_pbs: bool = False
 
     # MEV-Boost min-bid in ETH applied to every PBS validator (0 = off).
@@ -153,6 +161,22 @@ class SimulationConfig:
                 "plan must be fixed by the config, not the worker count, "
                 "so that digests are worker-count-invariant"
             )
+        if self.regime not in ("mev_boost", "epbs", "local"):
+            raise ConfigError(
+                "regime must be 'mev_boost', 'epbs' or 'local', "
+                f"got {self.regime!r}"
+            )
+        # Keep the legacy boolean and the regime knob in lock-step so both
+        # spellings keep working: the boolean promotes the default regime,
+        # and regime="epbs" implies the boolean.
+        if self.use_enshrined_pbs and self.regime == "local":
+            raise ConfigError(
+                "use_enshrined_pbs=True conflicts with regime='local'"
+            )
+        if self.use_enshrined_pbs and self.regime == "mev_boost":
+            self.regime = "epbs"
+        elif self.regime == "epbs":
+            self.use_enshrined_pbs = True
 
     @property
     def total_slots(self) -> int:

@@ -15,6 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..beacon.builders import (
+    ACTIVATION_DELAY_DAYS,
+    MIN_BUILDER_DEPOSIT_WEI,
+    BuilderRegistry,
+    EpbsLedger,
+)
 from ..beacon.chain import BeaconBlockRecord, BeaconChain
 from ..beacon.rewards import RewardLedger
 from ..beacon.schedule import ProposerSchedule
@@ -89,12 +95,16 @@ class SlotRecord:
 
     slot: int
     day: int
+    # -1 when no execution payload became canonical this slot (ePBS
+    # withheld/empty slots have a consensus record but no block).
     block_number: int
     mode: str
     winning_builder: str | None
     delivering_relays: tuple[str, ...]
     payment_wei: int
     claimed_wei: int
+    # ePBS escrow settlement enforcing the committed bid (0 elsewhere).
+    settled_wei: int = 0
 
 
 class World:
@@ -209,10 +219,38 @@ class World:
             # recent quarter of arrivals (smaller, emptier non-PBS blocks).
             snapshot_lead_seconds=0.25 * config.seconds_per_simulated_slot,
         )
-        if config.use_enshrined_pbs:
+        # Long-tail builder start days (needed for the ePBS deposit
+        # schedule below, and the daily flow weights).
+        self._tail_names = sorted(
+            name for name in self.builders if name.startswith("builder-")
+        )
+        self._tail_start = {
+            name: long_tail_start_day(index, config.num_days)
+            for index, name in enumerate(self._tail_names)
+        }
+
+        # Regime wiring: who runs the per-slot auction.
+        self.builder_registry: BuilderRegistry | None = None
+        self.epbs_ledger: EpbsLedger | None = None
+        if config.regime == "epbs":
             from ..core.epbs import EnshrinedPBSAuction
 
-            self.auction = EnshrinedPBSAuction(self.builders, self.local_builder)
+            self.epbs_ledger = EpbsLedger()
+            self.builder_registry = BuilderRegistry(
+                self.state, ledger=self.epbs_ledger
+            )
+            self._schedule_builder_deposits()
+            self.auction = EnshrinedPBSAuction(
+                self.builders,
+                self.local_builder,
+                registry=self.builder_registry,
+                ledger=self.epbs_ledger,
+                validators=self.validators,
+                seed=config.seed,
+            )
+        elif config.regime == "local":
+            # Every proposer self-builds: no relays, no builder market.
+            self.auction = SlotAuction({}, {}, self.local_builder)
         else:
             self.auction = SlotAuction(
                 self.relays, self.builders, self.local_builder
@@ -242,18 +280,55 @@ class World:
         self._fund_accounts()
         self._seed_lending_positions(config.num_lending_positions)
 
-        # Long-tail builder start days.
-        self._tail_names = sorted(
-            name for name in self.builders if name.startswith("builder-")
-        )
-        self._tail_start = {
-            name: long_tail_start_day(index, config.num_days)
-            for index, name in enumerate(self._tail_names)
-        }
+        # Segment worlds fast-forward the builder registry through the
+        # days before their window (deposits and churned activations are
+        # pure functions of the schedule and the day), with ledger
+        # recording suppressed so each segment publishes only its own
+        # window's events.
+        if self.builder_registry is not None and self._day_start > 0:
+            self.builder_registry.ledger = None
+            for day in range(0, self._day_start):
+                self.builder_registry.process_day(day)
+            self.builder_registry.ledger = self.epbs_ledger
 
     # ------------------------------------------------------------------
     # Setup helpers
     # ------------------------------------------------------------------
+
+    def _schedule_builder_deposits(self) -> None:
+        """The ePBS deposit schedule: who stakes, and when.
+
+        The named roster is the genesis builder set (deposits escrow on
+        day 0, activation is immediate).  Long-tail builders deposit
+        ahead of their market-entry day so the activation-queue delay
+        lands them in the active set roughly when their order flow
+        starts; the churn limit still rate-limits bursts.  The schedule
+        is a pure function of the config, so every segment derives the
+        same one.
+        """
+        registry = self.builder_registry
+        assert registry is not None
+        for name, builder in self.builders.items():
+            if name.startswith("builder-"):
+                continue
+            registry.submit_deposit(
+                name,
+                pubkey=builder.pubkeys[0],
+                address=builder.address,
+                amount_wei=MIN_BUILDER_DEPOSIT_WEI,
+                day=0,
+                genesis=True,
+            )
+        for name in self._tail_names:
+            builder = self.builders[name]
+            deposit_day = max(0, self._tail_start[name] - ACTIVATION_DELAY_DAYS)
+            registry.submit_deposit(
+                name,
+                pubkey=builder.pubkeys[0],
+                address=builder.address,
+                amount_wei=MIN_BUILDER_DEPOSIT_WEI,
+                day=deposit_day,
+            )
 
     def _fund_accounts(self) -> None:
         tokens = self.defi.tokens
@@ -372,17 +447,26 @@ class World:
             self._open_lending_position()
         if self._rng_lending.random() < refill - whole:
             self._open_lending_position()
-        # Refresh validator MEV-Boost configurations.
-        for validator in self.validators:
-            adopted = self._adoption[validator.index] <= day
-            if not adopted:
-                validator.disable_mev_boost()
-                continue
-            menu = calibration.relay_menu(self._profiles[validator.index], day)
-            if menu:
-                validator.configure_mev_boost(menu)
-                validator.min_bid_wei = ether(self.config.min_bid_eth)
-            else:
+        # The builder registry processes the day's deposits/activations.
+        if self.builder_registry is not None:
+            self.builder_registry.process_day(day)
+        # Refresh validator MEV-Boost configurations.  Only the mev_boost
+        # regime has MEV-Boost at all: under ePBS the protocol runs the
+        # auction for every proposer, and under local everyone self-builds.
+        if self.config.regime == "mev_boost":
+            for validator in self.validators:
+                adopted = self._adoption[validator.index] <= day
+                if not adopted:
+                    validator.disable_mev_boost()
+                    continue
+                menu = calibration.relay_menu(self._profiles[validator.index], day)
+                if menu:
+                    validator.configure_mev_boost(menu)
+                    validator.min_bid_wei = ether(self.config.min_bid_eth)
+                else:
+                    validator.disable_mev_boost()
+        else:
+            for validator in self.validators:
                 validator.disable_mev_boost()
         # Builder relay routing and activity for the day.
         self._day_flow_weights = {
@@ -736,7 +820,8 @@ class World:
             return
 
         # Register the proposer with its relays (relay-API dataset).
-        if proposer.uses_mev_boost and not config.use_enshrined_pbs:
+        # Relays exist only in the mev_boost regime.
+        if proposer.uses_mev_boost and config.regime == "mev_boost":
             for relay_name in proposer.relays:
                 key = (proposer.index, relay_name)
                 if key not in self._registered_relays:
@@ -943,6 +1028,8 @@ class World:
                 day in builder.scripted_mispromise
                 or day in builder.timestamp_bug_days
                 or day in builder.claim_inflation_days
+                or day in builder.withhold_days
+                or day in builder.renege_days
             ):
                 active.append(name)
         # Builders submit to a per-slot sampled subset of their relay routes.
@@ -969,6 +1056,41 @@ class World:
     def _apply_outcome(
         self, outcome: SlotOutcome, ctx: SlotContext, date: datetime.date
     ) -> None:
+        if outcome.block is None:
+            # ePBS slot whose execution payload never became canonical
+            # (withheld, or rejected by the payload-timeliness committee):
+            # consensus records the slot, the chain gets no block, and the
+            # committed bid was already charged from escrow on canonical
+            # state.  The discarded speculative fork is simply dropped.
+            submission = outcome.winning_submission
+            self.beacon.append(
+                BeaconBlockRecord(
+                    slot=outcome.slot,
+                    date=date,
+                    proposer_index=outcome.proposer.index,
+                    proposer_entity=outcome.proposer.entity,
+                    execution_block_hash=None,
+                    payload_withheld=outcome.payload_withheld,
+                )
+            )
+            self.rewards.reward_proposer(outcome.proposer.index)
+            self.mempool.expire(ctx.build_cutoff_time)
+            self.slot_records.append(
+                SlotRecord(
+                    slot=outcome.slot,
+                    day=ctx.day,
+                    block_number=-1,
+                    mode=outcome.mode,
+                    winning_builder=(
+                        submission.builder_name if submission else None
+                    ),
+                    delivering_relays=(),
+                    payment_wei=0,
+                    claimed_wei=outcome.bid_wei,
+                    settled_wei=outcome.settled_shortfall_wei,
+                )
+            )
+            return
         outcome.speculative_ctx.commit()
         self.chain.append(outcome.block, outcome.result)
         self.beacon.append(
@@ -1018,6 +1140,7 @@ class World:
                     if submission
                     else 0
                 ),
+                settled_wei=outcome.settled_shortfall_wei,
             )
         )
 
@@ -1053,7 +1176,8 @@ class World:
         for record in self.slot_records:
             hasher.update(
                 f"s|{record.slot}|{record.mode}|{record.winning_builder}|"
-                f"{record.payment_wei}|{record.claimed_wei}".encode()
+                f"{record.payment_wei}|{record.claimed_wei}|"
+                f"{record.settled_wei}".encode()
             )
         return hasher.hexdigest()
 

@@ -21,6 +21,7 @@ from .differential import (
     GROUP_SHARDED,
     ReplayCase,
     ReplayReport,
+    regime_cases,
     run_replay_matrix,
     sharded_cases,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "FaultSpec",
     "GROUP_DEFAULT",
     "GROUP_SHARDED",
+    "regime_cases",
     "sharded_cases",
     "OracleFinding",
     "OracleReport",

@@ -122,6 +122,38 @@ def sharded_cases(segment_days: int) -> tuple[ReplayCase, ...]:
     )
 
 
+def regime_cases(segment_days: int) -> tuple[ReplayCase, ...]:
+    """The regime wing of the matrix: ePBS and local-only worlds.
+
+    Each regime is its own digest group — the three regimes simulate
+    genuinely different protocols — and within a group the sharded
+    worker count {1, 2, 4} must never matter.  Both ``regime`` and the
+    legacy ``use_enshrined_pbs`` alias are overridden together so the
+    cases mean the same thing whatever the base config was normalised
+    to.  (The ``mev_boost`` regime is the base matrix above.)
+    """
+    if segment_days <= 0:
+        raise ConformanceError("regime cases need segment_days > 0")
+    seg = ("segment_days", segment_days)
+    cases: list[ReplayCase] = []
+    for regime in ("epbs", "local"):
+        base = (
+            seg,
+            ("regime", regime),
+            ("use_enshrined_pbs", regime == "epbs"),
+        )
+        group = f"regime-{regime}"
+        for workers in (1, 2, 4):
+            cases.append(
+                ReplayCase(
+                    name=f"{group}-workers-{workers}",
+                    overrides=base + (("shard_workers", workers),),
+                    group=group,
+                )
+            )
+    return tuple(cases)
+
+
 @dataclass(frozen=True)
 class CaseResult:
     """Digests and oracle outcome of one matrix cell."""

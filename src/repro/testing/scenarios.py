@@ -19,8 +19,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..beacon.builders import SLASH_REASON_RENEGING, SLASH_REASON_WITHHELD
 from ..constants import MERGE_DATE, MERGE_SLOT
 from ..core.auction import MODE_FALLBACK
+from ..core.epbs import EnshrinedPBSAuction
 from ..core.policies import MevFilterPolicy
 from ..datasets.collector import StudyDataset, collect_study_dataset
 from ..errors import ScenarioError
@@ -43,6 +45,12 @@ FAULT_MEV_FILTER_MISS = "mev-filter-miss"
 FAULT_SANCTIONS_LAG = "sanctions-lag"
 FAULT_DROPPED_PAYLOAD = "dropped-payload"
 FAULT_BUILDER_CRASH = "builder-crash"
+# ePBS faults (require ``regime="epbs"``): a staked builder withholding
+# its committed payload, a builder grossly reneging on its bid against
+# collateral, and payload-timeliness-committee equivocation.
+FAULT_WITHHELD_PAYLOAD = "withheld-payload"
+FAULT_BID_RENEGING = "bid-reneging"
+FAULT_PTC_EQUIVOCATION = "ptc-equivocation"
 
 FAULT_KINDS = frozenset(
     {
@@ -52,6 +60,9 @@ FAULT_KINDS = frozenset(
         FAULT_SANCTIONS_LAG,
         FAULT_DROPPED_PAYLOAD,
         FAULT_BUILDER_CRASH,
+        FAULT_WITHHELD_PAYLOAD,
+        FAULT_BID_RENEGING,
+        FAULT_PTC_EQUIVOCATION,
     }
 )
 
@@ -200,6 +211,15 @@ def _install_claim_inflation(
     )
 
 
+def _require_epbs(world, kind: str) -> None:
+    if world.config.regime != "epbs":
+        raise ScenarioError(
+            f"{kind} faults need regime='epbs' "
+            f"(world runs {world.config.regime!r}); add "
+            "config_overrides={'regime': 'epbs'} to the scenario"
+        )
+
+
 def apply_fault(world, spec: FaultSpec) -> None:
     """Perturb a built (not yet run) world with one fault."""
     if spec.kind == FAULT_VALIDATION_OUTAGE:
@@ -254,6 +274,31 @@ def apply_fault(world, spec: FaultSpec) -> None:
     elif spec.kind == FAULT_BUILDER_CRASH:
         builder = _builder_or_raise(world, spec.builder or spec.target)
         builder.crash_days = builder.crash_days | {spec.day}
+    elif spec.kind == FAULT_WITHHELD_PAYLOAD:
+        _require_epbs(world, spec.kind)
+        builder = _builder_or_raise(world, spec.builder or spec.target)
+        builder.withhold_days = builder.withhold_days | {spec.day}
+        builder.withhold_claim_wei = max(
+            builder.withhold_claim_wei, ether(spec.claim_eth)
+        )
+    elif spec.kind == FAULT_BID_RENEGING:
+        _require_epbs(world, spec.kind)
+        builder = _builder_or_raise(world, spec.builder or spec.target)
+        builder.renege_days = builder.renege_days | {spec.day}
+        builder.renege_claim_wei = max(
+            builder.renege_claim_wei, ether(spec.claim_eth)
+        )
+    elif spec.kind == FAULT_PTC_EQUIVOCATION:
+        _require_epbs(world, spec.kind)
+        auction = world.auction
+        if not isinstance(auction, EnshrinedPBSAuction):
+            raise ScenarioError(
+                "ptc-equivocation needs an EnshrinedPBSAuction world"
+            )
+        auction.ptc_equivocation_days = (
+            auction.ptc_equivocation_days | {spec.day}
+        )
+        auction.ptc_equivocation_rate = spec.rate
     else:  # pragma: no cover - guarded by FaultSpec.__post_init__
         raise ScenarioError(f"unhandled fault kind {spec.kind!r}")
 
@@ -443,6 +488,57 @@ def _sanctions_lags(report: OracleReport) -> list[DetectedAnomaly]:
     ]
 
 
+def _epbs_faults(world) -> list[DetectedAnomaly]:
+    """ePBS consensus-layer anomalies read from the builder ledger.
+
+    Slashings are attributed to the offending builder by reason —
+    withheld payloads and collateralised bid reneging — and PTC
+    equivocations aggregate to the committee as a whole, since the
+    committee is sampled fresh per slot.
+    """
+    ledger = getattr(world, "epbs_ledger", None)
+    if ledger is None:
+        return []
+    found: list[DetectedAnomaly] = []
+    reason_kinds = {
+        SLASH_REASON_WITHHELD: FAULT_WITHHELD_PAYLOAD,
+        SLASH_REASON_RENEGING: FAULT_BID_RENEGING,
+    }
+    counts: dict[tuple[str, str], int] = {}
+    for slashing in ledger.slashings:
+        kind = reason_kinds.get(slashing.reason)
+        if kind is None:  # pragma: no cover - only two reasons exist today
+            continue
+        key = (kind, slashing.builder)
+        counts[key] = counts.get(key, 0) + 1
+    for (kind, builder), count in sorted(counts.items()):
+        found.append(
+            DetectedAnomaly(
+                kind=kind,
+                target=builder,
+                metric=float(count),
+                evidence=(
+                    f"{builder} slashed {count} time(s) for "
+                    f"{'withholding a payload' if kind == FAULT_WITHHELD_PAYLOAD else 'reneging on its bid'}"
+                ),
+            )
+        )
+    equivocations = sum(rec.ptc_equivocations for rec in ledger.slots)
+    if equivocations:
+        found.append(
+            DetectedAnomaly(
+                kind=FAULT_PTC_EQUIVOCATION,
+                target="committee",
+                metric=float(equivocations),
+                evidence=(
+                    f"{equivocations} payload-timeliness votes equivocated "
+                    "across the run"
+                ),
+            )
+        )
+    return found
+
+
 def detect_anomalies(
     world,
     dataset: StudyDataset | None = None,
@@ -466,6 +562,7 @@ def detect_anomalies(
     detected.extend(_dropped_payloads(world))
     detected.extend(_builder_crashes(world))
     detected.extend(_sanctions_lags(report))
+    detected.extend(_epbs_faults(world))
     return {(a.kind, a.target): a for a in detected}
 
 
@@ -690,5 +787,56 @@ def default_scenarios() -> list[Scenario]:
             faults=(
                 FaultSpec(kind=FAULT_BUILDER_CRASH, target="Builder 1", day=9),
             ),
+        ),
+        Scenario(
+            name="epbs-withheld-payload",
+            description=(
+                "A staked builder wins the commit phase with an inflated "
+                "bid, then never reveals; the protocol charges the bid "
+                "from escrow and slashes the builder's collateral."
+            ),
+            faults=(
+                FaultSpec(
+                    kind=FAULT_WITHHELD_PAYLOAD,
+                    target="Builder 1",
+                    day=9,
+                    claim_eth=2.0,
+                ),
+            ),
+            config_overrides={"regime": "epbs"},
+        ),
+        Scenario(
+            name="epbs-bid-reneging",
+            description=(
+                "A staked builder commits to an exploit-grade bid its "
+                "payload cannot pay; settlement draws the shortfall from "
+                "collateral and slashes the gross reneger."
+            ),
+            faults=(
+                FaultSpec(
+                    kind=FAULT_BID_RENEGING,
+                    target="Builder 3",
+                    day=9,
+                    claim_eth=2.0,
+                ),
+            ),
+            config_overrides={"regime": "epbs"},
+        ),
+        Scenario(
+            name="epbs-ptc-equivocation",
+            description=(
+                "The payload-timeliness committee equivocates wholesale "
+                "for a day; reveals lose quorum and slots go empty with "
+                "unconditional payment."
+            ),
+            faults=(
+                FaultSpec(
+                    kind=FAULT_PTC_EQUIVOCATION,
+                    target="committee",
+                    day=10,
+                    rate=1.0,
+                ),
+            ),
+            config_overrides={"regime": "epbs"},
         ),
     ]

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.epbs import MODE_EPBS, EnshrinedPBSAuction
+from repro.beacon.validator import ValidatorRegistry
+from repro.core.epbs import (
+    MODE_EPBS,
+    MODE_EPBS_EMPTY,
+    PTC_SIZE,
+    EnshrinedPBSAuction,
+)
 from repro.core.proposer import LocalBlockBuilder
 from repro.datasets import collect_study_dataset
 from repro.simulation import build_world
@@ -55,7 +61,19 @@ class TestEnshrinedAuction:
         outcome = auction.run(world.context(), world.proposer, ["test-builder"])
         submission = outcome.winning_submission
         assert submission is not None
-        assert submission.payment_wei == submission.claimed_value_wei
+        # Settlement is recorded on the outcome; the submission itself
+        # must never be rewritten (the embedded payment stays what the
+        # payload actually paid).
+        assert submission.payment_wei == 10**15
+        assert outcome.bid_wei == submission.claimed_value_wei
+        assert (
+            outcome.settled_shortfall_wei
+            == submission.claimed_value_wei - submission.payment_wei
+        )
+        assert (
+            submission.payment_wei + outcome.settled_shortfall_wei
+            >= submission.claimed_value_wei
+        )
 
     def test_invalid_payload_rejected_by_protocol(self):
         world = MiniWorld()
@@ -65,6 +83,61 @@ class TestEnshrinedAuction:
             world.context(), world.proposer, ["test-builder"]
         )
         assert outcome.mode == "pbs-fallback"
+
+
+class TestPayloadTimelinessCommittee:
+    def _auction(self, world, rate=0.0, days=frozenset()):
+        validators = ValidatorRegistry()
+        validators.add_many("Test", 32)
+        auction = EnshrinedPBSAuction(
+            builders={world.builder.name: world.builder},
+            local_builder=LocalBlockBuilder(snapshot_lead_seconds=0.0),
+            validators=validators,
+            seed=7,
+        )
+        auction.ptc_equivocation_days = frozenset(days)
+        auction.ptc_equivocation_rate = rate
+        return auction
+
+    def test_committee_sampling_deterministic(self):
+        world = MiniWorld()
+        auction = self._auction(world)
+        seats = auction.ptc_committee(12345)
+        assert seats == auction.ptc_committee(12345)
+        assert len(seats) == PTC_SIZE
+        assert all(0 <= seat < 32 for seat in seats)
+        assert seats != auction.ptc_committee(12346)
+
+    def test_quorum_is_majority(self):
+        world = MiniWorld()
+        auction = self._auction(world)
+        assert auction.ptc_quorum == PTC_SIZE // 2 + 1
+
+    def test_equivocations_below_quorum_boundary_still_reveal(self):
+        # 3 of 8 seats equivocate: 5 honest votes == quorum → payload lands.
+        world = MiniWorld()
+        world.add_public_tx()
+        auction = self._auction(world, rate=3 / PTC_SIZE, days={10})
+        outcome = auction.run(world.context(), world.proposer, ["test-builder"])
+        assert outcome.mode == MODE_EPBS
+        assert outcome.block is not None
+
+    def test_equivocations_at_quorum_boundary_empty_slot(self):
+        # 4 of 8 seats equivocate: 4 honest votes < quorum of 5 → no payload.
+        world = MiniWorld()
+        world.add_public_tx()
+        auction = self._auction(world, rate=4 / PTC_SIZE, days={10})
+        outcome = auction.run(world.context(), world.proposer, ["test-builder"])
+        assert outcome.mode == MODE_EPBS_EMPTY
+        assert outcome.block is None
+        assert outcome.winning_submission is not None
+
+    def test_equivocation_outside_fault_day_is_honest(self):
+        world = MiniWorld()
+        world.add_public_tx()
+        auction = self._auction(world, rate=1.0, days={99})
+        outcome = auction.run(world.context(), world.proposer, ["test-builder"])
+        assert outcome.mode == MODE_EPBS
 
 
 class TestEnshrinedWorld:
@@ -84,10 +157,14 @@ class TestEnshrinedWorld:
         assert modes.count("epbs") > len(modes) * 0.5
 
     def test_value_always_delivered(self, epbs_world):
-        # The headline counterfactual: delivered == promised on every block.
+        # The headline counterfactual: embedded payment plus escrow
+        # settlement covers the committed bid on every ePBS slot.
         for record in epbs_world.slot_records:
             if record.mode == "epbs":
-                assert record.payment_wei >= record.claimed_wei
+                assert (
+                    record.payment_wei + record.settled_wei
+                    >= record.claimed_wei
+                )
 
     def test_censorship_not_solved(self, epbs_world):
         # Value enforcement does nothing for censorship: sanctioned

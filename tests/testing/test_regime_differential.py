@@ -1,0 +1,63 @@
+"""Regime wing of the differential replay matrix.
+
+The three production regimes simulate genuinely different protocols, so
+each forms its own digest group — but within a regime the sharded
+worker count {1, 2, 4} must never change a bit of the world or dataset
+digest, and every cell must stay oracle-clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.simulation.config import small_test_config
+from repro.testing.differential import regime_cases, run_replay_matrix
+
+CONFIG = small_test_config(num_days=8, blocks_per_day=6)
+
+
+@pytest.fixture(scope="module")
+def regime_report():
+    return run_replay_matrix(CONFIG, cases=regime_cases(segment_days=4))
+
+
+class TestRegimeMatrix:
+    def test_matrix_is_consistent(self, regime_report):
+        regime_report.assert_consistent()
+
+    def test_covers_both_regimes_at_three_worker_counts(self, regime_report):
+        names = [r.case.name for r in regime_report.results]
+        assert names == [
+            "regime-epbs-workers-1",
+            "regime-epbs-workers-2",
+            "regime-epbs-workers-4",
+            "regime-local-workers-1",
+            "regime-local-workers-2",
+            "regime-local-workers-4",
+        ]
+
+    def test_worker_count_never_changes_digests(self, regime_report):
+        by_group: dict[str, set[tuple[str, str]]] = {}
+        for result in regime_report.results:
+            by_group.setdefault(result.case.group, set()).add(
+                (result.world_digest, result.dataset_digest)
+            )
+        assert set(by_group) == {"regime-epbs", "regime-local"}
+        for group, digests in by_group.items():
+            assert len(digests) == 1, group
+
+    def test_regimes_are_genuinely_different_worlds(self, regime_report):
+        groups = {
+            result.case.group: result.world_digest
+            for result in regime_report.results
+        }
+        assert groups["regime-epbs"] != groups["regime-local"]
+
+    def test_all_cells_oracle_clean(self, regime_report):
+        assert all(r.oracle_violations == 0 for r in regime_report.results)
+
+
+def test_regime_cases_require_segments():
+    with pytest.raises(ConformanceError):
+        regime_cases(segment_days=0)
